@@ -1,0 +1,88 @@
+//! Criterion microbenches for the substrate primitives: SHA-256, Merkle
+//! roots, Bloom filter, JSON codec — the per-transaction costs everything
+//! else is built from.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hammer_core::bloom::BloomFilter;
+use hammer_crypto::{merkle::merkle_root, sha256};
+use hammer_rpc::json::Value;
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for &size in &[64usize, 1024, 65_536] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| sha256(&data));
+        });
+    }
+    group.finish();
+}
+
+fn bench_merkle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merkle_root");
+    group.sample_size(20);
+    for &n in &[100usize, 1_000, 10_000] {
+        let items: Vec<Vec<u8>> = (0..n).map(|i| format!("tx-{i}").into_bytes()).collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| merkle_root(&items));
+        });
+    }
+    group.finish();
+}
+
+fn bench_bloom(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bloom");
+    let mut bloom = BloomFilter::new(100_000, 0.01);
+    for i in 0..100_000u64 {
+        bloom.insert(i);
+    }
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("contains_hit", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 100_000;
+            bloom.contains(i)
+        });
+    });
+    group.bench_function("contains_miss", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            bloom.contains(1_000_000 + i)
+        });
+    });
+    group.finish();
+}
+
+fn bench_json(c: &mut Criterion) {
+    let mut group = c.benchmark_group("json");
+    let value = Value::object([
+        ("jsonrpc", Value::from("2.0")),
+        ("id", Value::from(42)),
+        ("method", Value::from("submit_transaction")),
+        (
+            "params",
+            Value::object([
+                ("type", Value::from("transfer")),
+                ("from", Value::from("12345678901234567890")),
+                ("to", Value::from("98765432109876543210")),
+                ("amount", Value::from(100)),
+                ("sig", Value::from("00112233445566778899aabbccddeeff")),
+            ]),
+        ),
+    ]);
+    let text = value.to_json();
+    group.throughput(Throughput::Bytes(text.len() as u64));
+    group.bench_function("serialize_rpc_request", |b| {
+        b.iter(|| value.to_json());
+    });
+    group.bench_function("parse_rpc_request", |b| {
+        b.iter(|| Value::parse(&text).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sha256, bench_merkle, bench_bloom, bench_json);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion microbench behind Fig. 8: signing strategies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hammer_chain::types::Transaction;
+use hammer_core::signer::{sign_async, sign_pipelined, sign_serial};
+use hammer_crypto::sig::SigParams;
+use hammer_crypto::Keypair;
+use hammer_workload::{SmallBankGenerator, WorkloadConfig};
+
+fn batch(n: usize) -> Vec<Transaction> {
+    SmallBankGenerator::new(WorkloadConfig {
+        accounts: 500,
+        total_txs: n,
+        ..WorkloadConfig::default()
+    })
+    .generate_all()
+}
+
+fn bench_signing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("signing");
+    group.sample_size(10);
+    let n = 5_000usize;
+    let txs = batch(n);
+    let keypair = Keypair::from_seed(1);
+    let params = SigParams::realistic();
+    let threads = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(8);
+    group.throughput(Throughput::Elements(n as u64));
+
+    group.bench_function(BenchmarkId::new("serial", n), |b| {
+        b.iter(|| sign_serial(txs.clone(), &keypair, &params).len());
+    });
+
+    group.bench_function(BenchmarkId::new("async_pool", n), |b| {
+        b.iter(|| sign_async(txs.clone(), &keypair, &params, threads).len());
+    });
+
+    group.bench_function(BenchmarkId::new("pipelined_consume", n), |b| {
+        b.iter(|| {
+            let rx = sign_pipelined(txs.clone(), keypair, params, threads);
+            rx.iter().count()
+        });
+    });
+
+    group.finish();
+}
+
+fn bench_single_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("signature_ops");
+    let keypair = Keypair::from_seed(1);
+    for (label, params) in [("fast", SigParams::fast()), ("realistic", SigParams::realistic())] {
+        let sig = keypair.sign(b"message", &params);
+        group.bench_function(BenchmarkId::new("sign", label), |b| {
+            b.iter(|| keypair.sign(b"message", &params));
+        });
+        group.bench_function(BenchmarkId::new("verify", label), |b| {
+            b.iter(|| keypair.public().verify(b"message", &sig, &params));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_signing, bench_single_ops);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Criterion microbench behind Fig. 9: block matching against a large
+//! in-flight set, Hammer task processing vs the batch-testing baseline.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hammer_chain::smallbank::Op;
+use hammer_chain::types::{Transaction, TxId};
+use hammer_core::baseline::BatchQueue;
+use hammer_core::index::TxTable;
+
+fn tx_ids(n: usize) -> Vec<TxId> {
+    (0..n as u64)
+        .map(|nonce| {
+            Transaction {
+                client_id: 0,
+                server_id: 0,
+                nonce,
+                op: Op::KvGet { key: nonce },
+                chain_name: "bench".to_owned(),
+                contract_name: "kv".to_owned(),
+            }
+            .id()
+        })
+        .collect()
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("block_matching");
+    group.sample_size(10);
+    let block_m = 1_000usize;
+
+    for &n in &[10_000usize, 50_000, 100_000] {
+        let ids = tx_ids(n);
+        let block: Vec<TxId> = ids[n - block_m..].to_vec();
+        group.throughput(Throughput::Elements(block_m as u64));
+
+        group.bench_with_input(BenchmarkId::new("batch_baseline", n), &n, |b, _| {
+            b.iter_batched(
+                || {
+                    let mut queue = BatchQueue::new();
+                    for id in &ids {
+                        queue.insert(*id, 0, 0, Duration::ZERO);
+                    }
+                    queue
+                },
+                |mut queue| queue.complete_block(&block, Duration::from_secs(1)),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+
+        group.bench_with_input(BenchmarkId::new("hammer_taskproc", n), &n, |b, _| {
+            b.iter_batched(
+                || {
+                    let mut table = TxTable::with_capacity(n);
+                    for id in &ids {
+                        table.insert(*id, 0, 0, Duration::ZERO);
+                    }
+                    table
+                },
+                |mut table| {
+                    let mut matched = 0;
+                    for id in &block {
+                        if table.complete(id, Duration::from_secs(1), true) {
+                            matched += 1;
+                        }
+                    }
+                    matched
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tracking_insert");
+    group.sample_size(10);
+    let ids = tx_ids(50_000);
+    group.throughput(Throughput::Elements(ids.len() as u64));
+
+    group.bench_function("txtable_insert_50k", |b| {
+        b.iter(|| {
+            let mut table = TxTable::with_capacity(1024); // force growth
+            for id in &ids {
+                table.insert(*id, 0, 0, Duration::ZERO);
+            }
+            table.len()
+        });
+    });
+
+    group.bench_function("batchqueue_insert_50k", |b| {
+        b.iter(|| {
+            let mut queue = BatchQueue::new();
+            for id in &ids {
+                queue.insert(*id, 0, 0, Duration::ZERO);
+            }
+            queue.pending()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching, bench_insert);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Ablation bench for the paper's stated limitation: the dynamic hash
+//! table only grows, inflating storage on long runs. DESIGN.md §6 adds
+//! periodic compaction ([`TxTable::compact`]); this bench measures its
+//! cost and its effect on matching speed and storage, so the
+//! compact-vs-grow trade-off is quantified rather than asserted.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hammer_chain::smallbank::Op;
+use hammer_chain::types::{Transaction, TxId};
+use hammer_core::index::TxTable;
+
+fn tx_ids(n: usize) -> Vec<TxId> {
+    (0..n as u64)
+        .map(|nonce| {
+            Transaction {
+                client_id: 0,
+                server_id: 0,
+                nonce,
+                op: Op::KvGet { key: nonce },
+                chain_name: "bench".to_owned(),
+                contract_name: "kv".to_owned(),
+            }
+            .id()
+        })
+        .collect()
+}
+
+/// Builds a long-run table: `n` transactions inserted, 90% completed.
+fn long_run_table(ids: &[TxId]) -> TxTable {
+    let mut table = TxTable::with_capacity(1024);
+    for id in ids {
+        table.insert(*id, 0, 0, Duration::ZERO);
+    }
+    for id in ids.iter().take(ids.len() * 9 / 10) {
+        table.complete(id, Duration::from_secs(1), true);
+    }
+    table
+}
+
+fn bench_compaction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compaction");
+    group.sample_size(10);
+
+    for &n in &[20_000usize, 100_000] {
+        let ids = tx_ids(n);
+
+        group.bench_with_input(BenchmarkId::new("compact_cost", n), &n, |b, _| {
+            b.iter_batched(
+                || long_run_table(&ids),
+                |mut table| table.compact(),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+
+        // Matching the remaining pending tail: compacted vs grown table.
+        let pending: Vec<TxId> = ids[n * 9 / 10..].to_vec();
+        group.bench_with_input(BenchmarkId::new("match_after_growth", n), &n, |b, _| {
+            b.iter_batched(
+                || long_run_table(&ids),
+                |mut table| {
+                    for id in &pending {
+                        table.complete(id, Duration::from_secs(2), true);
+                    }
+                    table.slot_count()
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("match_after_compact", n), &n, |b, _| {
+            b.iter_batched(
+                || {
+                    let mut table = long_run_table(&ids);
+                    table.compact();
+                    table
+                },
+                |mut table| {
+                    for id in &pending {
+                        table.complete(id, Duration::from_secs(2), true);
+                    }
+                    table.slot_count()
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compaction);
+criterion_main!(benches);

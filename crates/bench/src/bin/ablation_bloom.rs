@@ -1,0 +1,123 @@
+//! **Ablation (§III-C)** — the Bloom filter's value in distributed
+//! testing.
+//!
+//! In a multi-server deployment, blocks contain transactions submitted by
+//! *other* driver servers; matching those against the local vector list is
+//! pure waste. The paper puts a Bloom filter in front of the hash index to
+//! "significantly save time and bring some other benefits in distributed
+//! testing". This ablation sweeps the foreign-transaction fraction and
+//! measures matching time three ways:
+//!
+//! * Hammer task processing (Bloom + hash index),
+//! * the same index *without* the Bloom filter,
+//! * the Blockbench batch queue (every foreign transaction scans the whole
+//!   queue — the O(n) worst case).
+
+use std::time::{Duration, Instant};
+
+use bench::save_csv;
+use hammer_chain::smallbank::Op;
+use hammer_chain::types::{Transaction, TxId};
+use hammer_core::baseline::BatchQueue;
+use hammer_core::index::TxTable;
+use hammer_store::report::{render_table, to_csv};
+
+fn tx_ids(range: std::ops::Range<u64>) -> Vec<TxId> {
+    range
+        .map(|nonce| {
+            Transaction {
+                client_id: 0,
+                server_id: 0,
+                nonce,
+                op: Op::KvGet { key: nonce },
+                chain_name: "bench".to_owned(),
+                contract_name: "kv".to_owned(),
+            }
+            .id()
+        })
+        .collect()
+}
+
+fn main() {
+    println!("=== Ablation: Bloom filter under distributed (foreign-tx) load ===\n");
+
+    let local_n = 50_000u64;
+    let block_m = 10_000usize;
+    let local = tx_ids(0..local_n);
+    let foreign_pool = tx_ids(1_000_000..1_000_000 + block_m as u64);
+
+    let mut rows = Vec::new();
+    for foreign_pct in [0usize, 25, 50, 75, 90] {
+        // Build the block: `foreign_pct`% foreign txs, rest local (the
+        // most recently inserted — worst case for the scan baseline).
+        let n_foreign = block_m * foreign_pct / 100;
+        let n_local = block_m - n_foreign;
+        let mut block: Vec<TxId> = Vec::with_capacity(block_m);
+        block.extend_from_slice(&foreign_pool[..n_foreign]);
+        block.extend_from_slice(&local[local.len() - n_local..]);
+
+        // Bloom + index.
+        let mut with_bloom = TxTable::with_capacity(local_n as usize);
+        for id in &local {
+            with_bloom.insert(*id, 0, 0, Duration::ZERO);
+        }
+        let start = Instant::now();
+        let matched: usize = block
+            .iter()
+            .filter(|id| with_bloom.complete(id, Duration::from_secs(1), true))
+            .count();
+        let bloom_time = start.elapsed();
+        assert_eq!(matched, n_local);
+
+        // Index only.
+        let mut without_bloom = TxTable::with_capacity_and_bloom(local_n as usize, false);
+        for id in &local {
+            without_bloom.insert(*id, 0, 0, Duration::ZERO);
+        }
+        let start = Instant::now();
+        let matched: usize = block
+            .iter()
+            .filter(|id| without_bloom.complete(id, Duration::from_secs(1), true))
+            .count();
+        let nobloom_time = start.elapsed();
+        assert_eq!(matched, n_local);
+
+        // Batch queue.
+        let mut queue = BatchQueue::new();
+        for id in &local {
+            queue.insert(*id, 0, 0, Duration::ZERO);
+        }
+        let start = Instant::now();
+        let matched: usize = block
+            .iter()
+            .filter(|id| queue.complete(id, Duration::from_secs(1), true))
+            .count();
+        let queue_time = start.elapsed();
+        assert_eq!(matched, n_local);
+
+        rows.push(vec![
+            format!("{foreign_pct}%"),
+            format!("{:.3}", bloom_time.as_secs_f64() * 1e3),
+            format!("{:.3}", nobloom_time.as_secs_f64() * 1e3),
+            format!("{:.1}", queue_time.as_secs_f64() * 1e3),
+            format!("{}", with_bloom.stats().bloom_rejections),
+        ]);
+    }
+
+    let header = [
+        "foreign_txs",
+        "bloom+index_ms",
+        "index_only_ms",
+        "batch_queue_ms",
+        "bloom_rejections",
+    ];
+    println!("{}", render_table(&header, &rows));
+    save_csv("ablation_bloom", &to_csv(&header, &rows));
+    println!("Finding: the batch queue degrades catastrophically as foreign");
+    println!("transactions rise (each one scans all 50k entries); the hash index");
+    println!("stays flat with or without the Bloom front. Against this tight");
+    println!("open-addressing index, a miss already terminates in ~1.5 probes,");
+    println!("so the filter is cost-neutral; its value appears when the index");
+    println!("lookup is expensive (remote store, chained buckets) — the setting");
+    println!("the paper's distributed deployment implies. See EXPERIMENTS.md.");
+}

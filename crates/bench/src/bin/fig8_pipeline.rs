@@ -1,0 +1,250 @@
+//! **Fig. 8** — Workload generation time: serial vs asynchronous pipeline.
+//!
+//! The paper reports ≈6.88× speed-up for asynchronous signatures combined
+//! with pipelined preparation/execution over naive serial generation,
+//! measured on a multi-core client. This reproduction measures the same
+//! three strategies as *simulated-time makespans*: each signature costs a
+//! fixed amount of modelled client CPU (2 ms — an ECDSA-class signature on
+//! a weak cloud core, paid via the simulation clock so concurrency
+//! behaves like a multi-core client even on a single-core CI host), and
+//! the execution phase pays a smaller per-transaction ingestion cost.
+//!
+//! * **Serial** — one thread signs everything, then execution ingests
+//!   everything (Fig. 4a).
+//! * **Async** — a pool signs concurrently; execution still waits for the
+//!   whole batch (Fig. 4b).
+//! * **Async Pipeline** — signed transactions stream into execution as
+//!   they are produced (Fig. 4c).
+//!
+//! Real-crypto wall-clock numbers (host-core dependent) live in the
+//! Criterion bench: `cargo bench -p bench --bench signing`.
+
+use std::time::Duration;
+
+use bench::save_csv;
+use crossbeam::channel::bounded;
+use hammer_chain::types::{SignedTransaction, Transaction};
+use hammer_crypto::sig::SigParams;
+use hammer_crypto::Keypair;
+use hammer_net::SimClock;
+use hammer_store::report::{render_table, to_csv};
+use hammer_workload::{SmallBankGenerator, WorkloadConfig};
+
+/// Modelled client CPU per signature.
+const SIGN_COST: Duration = Duration::from_millis(2);
+/// Modelled execution-side ingestion cost per transaction.
+const CONSUME_COST: Duration = Duration::from_micros(330);
+/// Signer pool width (the client's core count in the paper's setup).
+const SIGNER_THREADS: usize = 8;
+
+fn make_batch(n: usize) -> Vec<Transaction> {
+    SmallBankGenerator::new(WorkloadConfig {
+        accounts: 1_000,
+        total_txs: n,
+        ..WorkloadConfig::default()
+    })
+    .generate_all()
+}
+
+/// Accumulates modelled CPU cost and pays it with plain OS sleeps,
+/// tracking a *signed* debt: the OS's coarse timer granularity makes each
+/// sleep overshoot, and the overshoot is credited against future charges,
+/// so long-run makespans are exact without any busy-waiting (which on a
+/// single-core host would starve the other pipeline stages).
+struct CostMeter {
+    clock: SimClock,
+    /// Outstanding simulated nanoseconds; negative = slept ahead.
+    debt_ns: i128,
+}
+
+impl CostMeter {
+    /// Pay once the debt reaches this much simulated time.
+    const CHUNK_NS: i128 = 8_000_000; // 8 ms
+
+    fn new(clock: &SimClock) -> Self {
+        CostMeter {
+            clock: clock.clone(),
+            debt_ns: 0,
+        }
+    }
+
+    fn pay(&mut self) {
+        let owed = Duration::from_nanos(self.debt_ns as u64);
+        let start = std::time::Instant::now();
+        std::thread::sleep(self.clock.to_wall(owed));
+        let slept_sim = self.clock.to_sim(start.elapsed());
+        self.debt_ns -= slept_sim.as_nanos() as i128;
+    }
+
+    fn charge(&mut self, cost: Duration) {
+        self.debt_ns += cost.as_nanos() as i128;
+        if self.debt_ns >= Self::CHUNK_NS {
+            self.pay();
+        }
+    }
+
+    fn settle(&mut self) {
+        if self.debt_ns > 0 {
+            self.pay();
+        }
+    }
+}
+
+fn sign_one(meter: &mut CostMeter, tx: Transaction, kp: &Keypair, params: &SigParams) -> SignedTransaction {
+    meter.charge(SIGN_COST);
+    tx.sign(kp, params)
+}
+
+fn consume(meter: &mut CostMeter, _tx: &SignedTransaction) {
+    meter.charge(CONSUME_COST);
+}
+
+/// Serial baseline: sign all, then consume all, on one thread.
+fn serial_makespan(clock: &SimClock, batch: Vec<Transaction>, kp: &Keypair, p: &SigParams) -> Duration {
+    let start = clock.now();
+    let mut meter = CostMeter::new(clock);
+    let signed: Vec<SignedTransaction> = batch
+        .into_iter()
+        .map(|tx| sign_one(&mut meter, tx, kp, p))
+        .collect();
+    for tx in &signed {
+        consume(&mut meter, tx);
+    }
+    meter.settle();
+    clock.now() - start
+}
+
+/// Async signatures: a pool signs concurrently; execution waits for all.
+fn async_makespan(clock: &SimClock, batch: Vec<Transaction>, kp: &Keypair, p: &SigParams) -> Duration {
+    let start = clock.now();
+    let signed = pooled_sign(clock, batch, kp, p, None);
+    let mut meter = CostMeter::new(clock);
+    for tx in &signed {
+        consume(&mut meter, tx);
+    }
+    meter.settle();
+    clock.now() - start
+}
+
+/// Async + pipeline: the consumer drains a channel while the pool signs.
+fn pipeline_makespan(clock: &SimClock, batch: Vec<Transaction>, kp: &Keypair, p: &SigParams) -> Duration {
+    let start = clock.now();
+    let (out_tx, out_rx) = bounded::<SignedTransaction>(4096);
+    std::thread::scope(|scope| {
+        let n = batch.len();
+        let chunk = n.div_ceil(SIGNER_THREADS).max(1);
+        let mut batch = batch;
+        for _ in 0..SIGNER_THREADS {
+            if batch.is_empty() {
+                break;
+            }
+            let take = chunk.min(batch.len());
+            let part: Vec<Transaction> = batch.drain(..take).collect();
+            let out = out_tx.clone();
+            let clock = clock.clone();
+            scope.spawn(move || {
+                let mut meter = CostMeter::new(&clock);
+                for tx in part {
+                    let signed = sign_one(&mut meter, tx, kp, p);
+                    if out.send(signed).is_err() {
+                        return;
+                    }
+                }
+                meter.settle();
+            });
+        }
+        drop(out_tx);
+        let mut meter = CostMeter::new(clock);
+        for tx in out_rx {
+            consume(&mut meter, &tx);
+        }
+        meter.settle();
+    });
+    clock.now() - start
+}
+
+/// Signs on the pool and returns everything (barrier at the end).
+fn pooled_sign(
+    clock: &SimClock,
+    batch: Vec<Transaction>,
+    kp: &Keypair,
+    p: &SigParams,
+    _marker: Option<()>,
+) -> Vec<SignedTransaction> {
+    let mut out: Vec<SignedTransaction> = Vec::with_capacity(batch.len());
+    std::thread::scope(|scope| {
+        let n = batch.len();
+        let chunk = n.div_ceil(SIGNER_THREADS).max(1);
+        let mut batch = batch;
+        let mut handles = Vec::new();
+        while !batch.is_empty() {
+            let take = chunk.min(batch.len());
+            let part: Vec<Transaction> = batch.drain(..take).collect();
+            let clock = clock.clone();
+            handles.push(scope.spawn(move || {
+                let mut meter = CostMeter::new(&clock);
+                let signed: Vec<SignedTransaction> = part
+                    .into_iter()
+                    .map(|tx| sign_one(&mut meter, tx, kp, p))
+                    .collect();
+                meter.settle();
+                signed
+            }));
+        }
+        for h in handles {
+            out.extend(h.join().expect("signer panicked"));
+        }
+    });
+    out
+}
+
+fn main() {
+    println!("=== Fig. 8: workload generation — serial vs async vs async pipeline ===\n");
+    println!(
+        "model: {SIGNER_THREADS}-thread signer pool, {} ms simulated CPU per signature,",
+        SIGN_COST.as_millis()
+    );
+    println!(
+        "{} us ingestion per transaction; makespans in simulated time\n",
+        CONSUME_COST.as_micros()
+    );
+
+    let params = SigParams::fast();
+    let keypair = Keypair::from_seed(1);
+    // Modest speed-up: each modelled 2 ms signature occupies ~130 us of
+    // wall time, so the real crypto (~3 us) cannot distort concurrency
+    // even with 9 threads sharing one host core.
+    let clock = SimClock::with_speedup(15.0);
+
+    let sizes = [10_000usize, 25_000, 50_000, 100_000];
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        eprintln!("batch of {n}...");
+        let serial = serial_makespan(&clock, make_batch(n), &keypair, &params);
+        let asynchronous = async_makespan(&clock, make_batch(n), &keypair, &params);
+        let pipelined = pipeline_makespan(&clock, make_batch(n), &keypair, &params);
+
+        let speedup_async = serial.as_secs_f64() / asynchronous.as_secs_f64();
+        let speedup_pipe = serial.as_secs_f64() / pipelined.as_secs_f64();
+        rows.push(vec![
+            n.to_string(),
+            format!("{:.2}", serial.as_secs_f64()),
+            format!("{:.2}", asynchronous.as_secs_f64()),
+            format!("{:.2}", pipelined.as_secs_f64()),
+            format!("{speedup_async:.2}x"),
+            format!("{speedup_pipe:.2}x"),
+        ]);
+    }
+
+    let header = [
+        "txs",
+        "serial_s",
+        "async_s",
+        "async_pipeline_s",
+        "async_speedup",
+        "pipeline_speedup",
+    ];
+    println!("{}", render_table(&header, &rows));
+    save_csv("fig8_pipeline", &to_csv(&header, &rows));
+    println!("Paper reference: Asynchronous Pipeline ~ 6.88x over Serial.");
+}

@@ -1,0 +1,61 @@
+//! **Table III** — Prediction-model comparison on the three datasets.
+//!
+//! Trains Linear, RNN, TCN, Transformer, and the paper's TCN+BiGRU+MHA
+//! model on the synthetic DeFi/Sandbox/NFT traces and reports
+//! MAE / MSE / RMSE / R² on a held-out chronological test split.
+//! Metrics are on the normalised scale (scale-free, comparable across the
+//! three very different count magnitudes — the paper's table mixes scales
+//! similarly).
+//!
+//! Expected shape: "Ours" achieves the lowest MAE on every dataset; the
+//! Transformer underperforms on this data volume.
+
+use bench::save_csv;
+use hammer_predict::models::all_models;
+use hammer_predict::{evaluate, Dataset, TrainConfig};
+use hammer_store::report::{render_table, to_csv};
+use hammer_workload::traces::{TraceKind, TraceSpec};
+
+fn main() {
+    println!("=== Table III: model comparison on DeFi / Sandbox / NFTs ===\n");
+    let config = TrainConfig::default();
+    println!(
+        "window = {}, epochs <= {}, lr = {}, MAE loss, Adam\n",
+        config.window, config.epochs, config.lr
+    );
+
+    let mut rows = Vec::new();
+    for kind in TraceKind::all() {
+        let series = TraceSpec::paper(kind, 1).generate();
+        let dataset = Dataset::new(&series, config.window, 0.8);
+        for mut model in all_models(&config) {
+            eprintln!("training {} on {}...", model.name(), kind.name());
+            let train_loss = model.fit(&dataset.train, &config);
+            let samples = dataset.test_samples();
+            let mut predictions = Vec::with_capacity(samples.len());
+            let mut targets = Vec::with_capacity(samples.len());
+            for (window, target) in &samples {
+                predictions.push(model.predict_next(window));
+                targets.push(*target);
+            }
+            let metrics = evaluate(&predictions, &targets);
+            rows.push(vec![
+                kind.name().to_owned(),
+                model.name().to_owned(),
+                format!("{:.3}", metrics.mae),
+                format!("{:.3}", metrics.mse),
+                format!("{:.3}", metrics.rmse),
+                format!("{:.4}", metrics.r2),
+                format!("{train_loss:.4}"),
+            ]);
+        }
+    }
+
+    let header = ["dataset", "method", "MAE", "MSE", "RMSE", "R2", "train_loss"];
+    println!("{}", render_table(&header, &rows));
+    save_csv("table3_models", &to_csv(&header, &rows));
+
+    println!("Paper reference (raw-count scale): Ours beats Linear/RNN/TCN/");
+    println!("Transformer on MAE for all three datasets (>56% lower), with R2");
+    println!("close to 1 on Sandbox/NFTs and weakest results on the small DeFi set.");
+}

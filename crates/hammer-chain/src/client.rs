@@ -1,0 +1,137 @@
+//! The generic blockchain interface (the paper's §III-A2).
+//!
+//! Every simulated chain implements [`BlockchainClient`]. The Hammer driver
+//! programs against this trait only, which is what lets one framework
+//! evaluate sharded and non-sharded systems alike. The
+//! [`crate::rpc_adapter`] module additionally exposes any implementation
+//! over JSON-RPC, mirroring how the real framework bridges SDKs written in
+//! different languages.
+
+use std::time::Duration;
+
+use crossbeam::channel::Receiver;
+
+use crate::mempool::MempoolError;
+use crate::types::{Block, SignedTransaction, TxId};
+
+/// Whether a chain is sharded, and into how many shards.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Architecture {
+    /// A single ledger replicated on every node.
+    NonSharded,
+    /// The ledger is split into `shards` shards.
+    Sharded {
+        /// Number of shards.
+        shards: u32,
+    },
+}
+
+impl Architecture {
+    /// Number of independent ledgers this architecture maintains.
+    pub fn shard_count(&self) -> u32 {
+        match self {
+            Architecture::NonSharded => 1,
+            Architecture::Sharded { shards } => *shards,
+        }
+    }
+}
+
+/// Errors surfaced through the generic interface.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChainError {
+    /// The node rejected the transaction (mempool full / duplicate).
+    Rejected(MempoolError),
+    /// The signature did not verify.
+    BadSignature,
+    /// The requested shard does not exist.
+    UnknownShard(u32),
+    /// The chain has been shut down.
+    Shutdown,
+    /// Transport-level failure (RPC framing, serialisation).
+    Transport(String),
+}
+
+impl std::fmt::Display for ChainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChainError::Rejected(e) => write!(f, "transaction rejected: {e}"),
+            ChainError::BadSignature => write!(f, "invalid signature"),
+            ChainError::UnknownShard(s) => write!(f, "unknown shard {s}"),
+            ChainError::Shutdown => write!(f, "chain has shut down"),
+            ChainError::Transport(msg) => write!(f, "transport error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
+
+/// A per-transaction commit notification, for interactive (Caliper-style)
+/// testing.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CommitEvent {
+    /// The committed transaction.
+    pub tx_id: TxId,
+    /// Whether it executed successfully (false = validation failure).
+    pub success: bool,
+    /// Height of the containing block.
+    pub block_height: u64,
+    /// Shard that committed it.
+    pub shard: u32,
+    /// Simulated commit time.
+    pub committed_at: Duration,
+}
+
+/// The generic interface every system under test implements.
+///
+/// Methods take `&self`; implementations are internally synchronised and
+/// shared across driver threads.
+pub trait BlockchainClient: Send + Sync {
+    /// The chain's display name (e.g. `"ethereum-sim"`).
+    fn chain_name(&self) -> &str;
+
+    /// Sharded or non-sharded.
+    fn architecture(&self) -> Architecture;
+
+    /// Submits a signed transaction; returns its id on acceptance.
+    ///
+    /// Acceptance means *queued*, not committed — commitment is observed
+    /// later via [`BlockchainClient::block_at`] polling (batch testing) or
+    /// [`BlockchainClient::subscribe_commits`] (interactive testing).
+    fn submit(&self, tx: SignedTransaction) -> Result<TxId, ChainError>;
+
+    /// Height of the newest committed block on `shard`.
+    fn latest_height(&self, shard: u32) -> Result<u64, ChainError>;
+
+    /// The committed block at `height` on `shard`, if any.
+    fn block_at(&self, shard: u32, height: u64) -> Result<Option<Block>, ChainError>;
+
+    /// Number of transactions waiting in the mempool(s).
+    fn pending_txs(&self) -> Result<usize, ChainError>;
+
+    /// Subscribes to per-transaction commit events (interactive testing).
+    fn subscribe_commits(&self) -> Receiver<CommitEvent>;
+
+    /// Shuts the chain down, stopping block production.
+    fn shutdown(&self);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn architecture_shard_count() {
+        assert_eq!(Architecture::NonSharded.shard_count(), 1);
+        assert_eq!(Architecture::Sharded { shards: 4 }.shard_count(), 4);
+    }
+
+    #[test]
+    fn chain_error_display() {
+        assert_eq!(
+            ChainError::Rejected(MempoolError::Full).to_string(),
+            "transaction rejected: mempool is full"
+        );
+        assert_eq!(ChainError::UnknownShard(3).to_string(), "unknown shard 3");
+        assert!(ChainError::Transport("boom".into()).to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,43 @@
+//! Common blockchain building blocks shared by every simulated chain in the
+//! Hammer evaluation framework.
+//!
+//! The paper evaluates four very different systems — Ethereum (PoW),
+//! Hyperledger Fabric (execute-order-validate), Neuchain (deterministic
+//! ordering) and Meepo (sharded consortium) — through one generic driver.
+//! This crate provides everything those simulators share:
+//!
+//! * [`types`] — addresses, transaction ids, transactions, blocks, receipts.
+//! * [`smallbank`] — the SmallBank contract operations (the paper's
+//!   workload) plus a YCSB-style KV extension.
+//! * [`state`] — a versioned world state with read/write-set tracking
+//!   (Fabric-style MVCC validation needs versions).
+//! * [`ledger`] — an append-only block store with hash-chain verification
+//!   and a transaction index.
+//! * [`mempool`] — a bounded transaction pool with de-duplication.
+//! * [`client`] — the [`client::BlockchainClient`] trait, the *generic
+//!   interface* of the paper (§III-A2), which both the driver and the RPC
+//!   facade program against, plus commit-event subscriptions used by
+//!   Caliper-style interactive testing.
+//! * [`codec`] — JSON encodings of the wire types.
+//! * [`rpc_adapter`] — exposes any `BlockchainClient` over JSON-RPC and
+//!   re-imports it as a client, proving language/architecture neutrality.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod codec;
+pub mod events;
+pub mod ledger;
+pub mod mempool;
+pub mod rpc_adapter;
+pub mod smallbank;
+pub mod state;
+pub mod types;
+
+pub use client::{Architecture, BlockchainClient, ChainError, CommitEvent};
+pub use ledger::Ledger;
+pub use mempool::Mempool;
+pub use smallbank::{ExecError, Op, OpOutput};
+pub use state::{RwSet, VersionedState};
+pub use types::{Address, Block, BlockHeader, Receipt, SignedTransaction, Transaction, TxId, TxStatus};

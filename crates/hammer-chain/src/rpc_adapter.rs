@@ -1,0 +1,358 @@
+//! Bridges between [`BlockchainClient`] and JSON-RPC.
+//!
+//! [`serve`] exposes any client implementation as an [`RpcServer`] with the
+//! generic method set; [`RpcChainClient`] consumes such a server and
+//! implements [`BlockchainClient`] again. Composing the two puts a full
+//! JSON encode/decode round trip between the driver and the chain — the
+//! same boundary a multi-language deployment has — without changing either
+//! side.
+
+use std::sync::Arc;
+
+use crossbeam::channel::Receiver;
+use hammer_rpc::json::Value;
+use hammer_rpc::jsonrpc::RpcError;
+use hammer_rpc::transport::{RpcClient, RpcServer};
+
+use crate::client::{Architecture, BlockchainClient, ChainError, CommitEvent};
+use crate::codec;
+use crate::mempool::MempoolError;
+use crate::types::{Block, SignedTransaction, TxId};
+
+/// Application error codes used on the wire.
+mod codes {
+    pub const REJECTED_FULL: i64 = -1001;
+    pub const REJECTED_DUP: i64 = -1002;
+    pub const BAD_SIGNATURE: i64 = -1003;
+    pub const UNKNOWN_SHARD: i64 = -1004;
+    pub const SHUTDOWN: i64 = -1005;
+}
+
+fn chain_error_to_rpc(err: ChainError) -> RpcError {
+    match err {
+        ChainError::Rejected(MempoolError::Full) => {
+            RpcError::application(codes::REJECTED_FULL, "mempool full")
+        }
+        ChainError::Rejected(MempoolError::Duplicate) => {
+            RpcError::application(codes::REJECTED_DUP, "duplicate transaction")
+        }
+        ChainError::BadSignature => RpcError::application(codes::BAD_SIGNATURE, "bad signature"),
+        ChainError::UnknownShard(s) => {
+            RpcError::application(codes::UNKNOWN_SHARD, format!("unknown shard {s}"))
+        }
+        ChainError::Shutdown => RpcError::application(codes::SHUTDOWN, "chain shut down"),
+        ChainError::Transport(msg) => RpcError::application(-1099, msg),
+    }
+}
+
+fn rpc_error_to_chain(err: RpcError) -> ChainError {
+    match err.code.code() {
+        codes::REJECTED_FULL => ChainError::Rejected(MempoolError::Full),
+        codes::REJECTED_DUP => ChainError::Rejected(MempoolError::Duplicate),
+        codes::BAD_SIGNATURE => ChainError::BadSignature,
+        codes::UNKNOWN_SHARD => ChainError::UnknownShard(0),
+        codes::SHUTDOWN => ChainError::Shutdown,
+        _ => ChainError::Transport(err.to_string()),
+    }
+}
+
+/// Exposes `chain` over JSON-RPC with the generic method set:
+/// `chain_name`, `architecture`, `submit_transaction`, `latest_height`,
+/// `get_block`, `pending_txs`.
+pub fn serve(chain: Arc<dyn BlockchainClient>) -> RpcServer {
+    let server = RpcServer::new(chain.chain_name());
+    {
+        let chain = Arc::clone(&chain);
+        server.register("chain_name", move |_| {
+            Ok(Value::from(chain.chain_name()))
+        });
+    }
+    {
+        let chain = Arc::clone(&chain);
+        server.register("architecture", move |_| {
+            let value = match chain.architecture() {
+                Architecture::NonSharded => Value::object([("type", Value::from("non_sharded"))]),
+                Architecture::Sharded { shards } => Value::object([
+                    ("type", Value::from("sharded")),
+                    ("shards", Value::from(shards as u64)),
+                ]),
+            };
+            Ok(value)
+        });
+    }
+    {
+        let chain = Arc::clone(&chain);
+        server.register("submit_transaction", move |params| {
+            let tx = codec::decode_signed_tx(&params)
+                .map_err(|e| RpcError::invalid_params(e.to_string()))?;
+            let id = chain.submit(tx).map_err(chain_error_to_rpc)?;
+            Ok(Value::from(hammer_crypto::to_hex(id.as_bytes())))
+        });
+    }
+    {
+        let chain = Arc::clone(&chain);
+        server.register("latest_height", move |params| {
+            let shard = params.get("shard").and_then(Value::as_u64).unwrap_or(0) as u32;
+            let height = chain.latest_height(shard).map_err(chain_error_to_rpc)?;
+            Ok(Value::from(height))
+        });
+    }
+    {
+        let chain = Arc::clone(&chain);
+        server.register("get_block", move |params| {
+            let shard = params.get("shard").and_then(Value::as_u64).unwrap_or(0) as u32;
+            let height = params
+                .get("height")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| RpcError::invalid_params("missing 'height'"))?;
+            match chain.block_at(shard, height).map_err(chain_error_to_rpc)? {
+                Some(block) => Ok(codec::encode_block(&block)),
+                None => Ok(Value::Null),
+            }
+        });
+    }
+    {
+        let chain = Arc::clone(&chain);
+        server.register("pending_txs", move |_| {
+            let n = chain.pending_txs().map_err(chain_error_to_rpc)?;
+            Ok(Value::from(n))
+        });
+    }
+    server
+}
+
+/// A [`BlockchainClient`] backed by a JSON-RPC connection.
+///
+/// Commit-event subscription still uses the underlying chain handle
+/// (events are push-based; a real deployment would use a streaming
+/// connection, which the in-proc transport models with a channel).
+pub struct RpcChainClient {
+    rpc: RpcClient,
+    name: String,
+    architecture: Architecture,
+    /// Push-event source (stands in for a streaming subscription).
+    events: Arc<dyn BlockchainClient>,
+}
+
+impl RpcChainClient {
+    /// Connects to a served chain, fetching its name and architecture.
+    pub fn connect(server: &RpcServer, chain: Arc<dyn BlockchainClient>) -> Result<Self, ChainError> {
+        let rpc = server.client();
+        let name = rpc
+            .call("chain_name", Value::Null)
+            .map_err(rpc_error_to_chain)?
+            .as_str()
+            .unwrap_or("unknown")
+            .to_owned();
+        let arch_value = rpc
+            .call("architecture", Value::Null)
+            .map_err(rpc_error_to_chain)?;
+        let architecture = match arch_value.get("type").and_then(Value::as_str) {
+            Some("sharded") => Architecture::Sharded {
+                shards: arch_value
+                    .get("shards")
+                    .and_then(Value::as_u64)
+                    .unwrap_or(1) as u32,
+            },
+            _ => Architecture::NonSharded,
+        };
+        Ok(RpcChainClient {
+            rpc,
+            name,
+            architecture,
+            events: chain,
+        })
+    }
+}
+
+impl BlockchainClient for RpcChainClient {
+    fn chain_name(&self) -> &str {
+        &self.name
+    }
+
+    fn architecture(&self) -> Architecture {
+        self.architecture
+    }
+
+    fn submit(&self, tx: SignedTransaction) -> Result<TxId, ChainError> {
+        let id = tx.id;
+        self.rpc
+            .call("submit_transaction", codec::encode_signed_tx(&tx))
+            .map_err(rpc_error_to_chain)?;
+        Ok(id)
+    }
+
+    fn latest_height(&self, shard: u32) -> Result<u64, ChainError> {
+        let v = self
+            .rpc
+            .call(
+                "latest_height",
+                Value::object([("shard", Value::from(shard as u64))]),
+            )
+            .map_err(rpc_error_to_chain)?;
+        v.as_u64()
+            .ok_or_else(|| ChainError::Transport("latest_height: non-numeric".to_owned()))
+    }
+
+    fn block_at(&self, shard: u32, height: u64) -> Result<Option<Block>, ChainError> {
+        let v = self
+            .rpc
+            .call(
+                "get_block",
+                Value::object([
+                    ("shard", Value::from(shard as u64)),
+                    ("height", Value::from(height)),
+                ]),
+            )
+            .map_err(rpc_error_to_chain)?;
+        if v.is_null() {
+            return Ok(None);
+        }
+        codec::decode_block(&v)
+            .map(Some)
+            .map_err(|e| ChainError::Transport(e.to_string()))
+    }
+
+    fn pending_txs(&self) -> Result<usize, ChainError> {
+        let v = self
+            .rpc
+            .call("pending_txs", Value::Null)
+            .map_err(rpc_error_to_chain)?;
+        v.as_u64()
+            .map(|n| n as usize)
+            .ok_or_else(|| ChainError::Transport("pending_txs: non-numeric".to_owned()))
+    }
+
+    fn subscribe_commits(&self) -> Receiver<CommitEvent> {
+        self.events.subscribe_commits()
+    }
+
+    fn shutdown(&self) {
+        self.events.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::smallbank::Op;
+    use crate::types::Transaction;
+    use crossbeam::channel::{unbounded, Sender};
+    use hammer_crypto::sig::SigParams;
+    use hammer_crypto::Keypair;
+    use parking_lot::Mutex;
+    use std::time::Duration;
+
+    /// A minimal in-memory chain for adapter tests.
+    struct MockChain {
+        blocks: Mutex<Vec<Block>>,
+        submitted: Mutex<Vec<TxId>>,
+        subscribers: Mutex<Vec<Sender<CommitEvent>>>,
+    }
+
+    impl MockChain {
+        fn new() -> Self {
+            MockChain {
+                blocks: Mutex::new(Vec::new()),
+                submitted: Mutex::new(Vec::new()),
+                subscribers: Mutex::new(Vec::new()),
+            }
+        }
+    }
+
+    impl BlockchainClient for MockChain {
+        fn chain_name(&self) -> &str {
+            "mock-chain"
+        }
+        fn architecture(&self) -> Architecture {
+            Architecture::Sharded { shards: 2 }
+        }
+        fn submit(&self, tx: SignedTransaction) -> Result<TxId, ChainError> {
+            let id = tx.id;
+            self.submitted.lock().push(id);
+            let mut blocks = self.blocks.lock();
+            let height = blocks.len() as u64 + 1;
+            let prev = blocks.last().map(|b: &Block| b.header.hash()).unwrap_or([0; 32]);
+            blocks.push(Block::new(
+                height,
+                prev,
+                Duration::from_millis(height),
+                "mock",
+                0,
+                vec![id],
+                vec![true],
+            ));
+            Ok(id)
+        }
+        fn latest_height(&self, shard: u32) -> Result<u64, ChainError> {
+            if shard > 1 {
+                return Err(ChainError::UnknownShard(shard));
+            }
+            Ok(self.blocks.lock().len() as u64)
+        }
+        fn block_at(&self, _shard: u32, height: u64) -> Result<Option<Block>, ChainError> {
+            if height == 0 {
+                return Ok(None);
+            }
+            Ok(self.blocks.lock().get(height as usize - 1).cloned())
+        }
+        fn pending_txs(&self) -> Result<usize, ChainError> {
+            Ok(0)
+        }
+        fn subscribe_commits(&self) -> Receiver<CommitEvent> {
+            let (tx, rx) = unbounded();
+            self.subscribers.lock().push(tx);
+            rx
+        }
+        fn shutdown(&self) {}
+    }
+
+    fn signed_tx(nonce: u64) -> SignedTransaction {
+        Transaction {
+            client_id: 1,
+            server_id: 1,
+            nonce,
+            op: Op::KvPut { key: nonce, value: 7 },
+            chain_name: "mock-chain".to_owned(),
+            contract_name: "kv".to_owned(),
+        }
+        .sign(&Keypair::from_seed(3), &SigParams::fast())
+    }
+
+    #[test]
+    fn full_rpc_roundtrip() {
+        let chain: Arc<dyn BlockchainClient> = Arc::new(MockChain::new());
+        let server = serve(Arc::clone(&chain));
+        let client = RpcChainClient::connect(&server, Arc::clone(&chain)).unwrap();
+
+        assert_eq!(client.chain_name(), "mock-chain");
+        assert_eq!(client.architecture(), Architecture::Sharded { shards: 2 });
+
+        let tx = signed_tx(1);
+        let id = client.submit(tx).unwrap();
+        assert_eq!(client.latest_height(0).unwrap(), 1);
+        let block = client.block_at(0, 1).unwrap().unwrap();
+        assert_eq!(block.tx_ids, vec![id]);
+        assert!(client.block_at(0, 99).unwrap().is_none());
+        assert_eq!(client.pending_txs().unwrap(), 0);
+    }
+
+    #[test]
+    fn shard_errors_propagate() {
+        let chain: Arc<dyn BlockchainClient> = Arc::new(MockChain::new());
+        let server = serve(Arc::clone(&chain));
+        let client = RpcChainClient::connect(&server, chain).unwrap();
+        let err = client.latest_height(5).unwrap_err();
+        assert!(matches!(err, ChainError::UnknownShard(_)));
+    }
+
+    #[test]
+    fn invalid_params_surface_as_transport_errors() {
+        let chain: Arc<dyn BlockchainClient> = Arc::new(MockChain::new());
+        let server = serve(Arc::clone(&chain));
+        let raw = server.client();
+        // get_block without height.
+        let err = raw.call("get_block", Value::Null).unwrap_err();
+        assert!(err.message.contains("height"));
+    }
+}

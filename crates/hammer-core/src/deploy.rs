@@ -1,0 +1,205 @@
+//! One-call SUT deployment (the paper's Ansible role, §III-A1).
+//!
+//! "We utilize the Ansible component to develop automated deployment
+//! scripts, simplifying the deployment and configuration processes of the
+//! blockchain environment. Currently, automated deployment scripts are
+//! available for four typical blockchain systems." — [`Deployment::up`]
+//! is the programmatic equivalent: it builds the simulated cluster
+//! (clock, network, nodes) for any of the four chains from a
+//! [`ChainSpec`] and hands back a ready [`BlockchainClient`].
+
+use std::sync::Arc;
+
+use hammer_chain::client::BlockchainClient;
+use hammer_chain::types::Address;
+use hammer_ethereum::{EthereumConfig, EthereumSim};
+use hammer_fabric::{FabricConfig, FabricSim};
+use hammer_meepo::{MeepoConfig, MeepoSim};
+use hammer_net::{LinkConfig, SimClock, SimNetwork};
+use hammer_neuchain::{NeuchainConfig, NeuchainSim};
+
+/// Which system to deploy, with its full configuration.
+#[derive(Clone, Debug)]
+pub enum ChainSpec {
+    /// PoW Ethereum simulator.
+    Ethereum(EthereumConfig),
+    /// Execute-order-validate Fabric simulator.
+    Fabric(FabricConfig),
+    /// Deterministic-ordering Neuchain simulator.
+    Neuchain(NeuchainConfig),
+    /// Sharded Meepo simulator.
+    Meepo(MeepoConfig),
+}
+
+impl ChainSpec {
+    /// Ethereum with the paper's deployment defaults (5 workers, 15 s PoW
+    /// blocks).
+    pub fn ethereum_default() -> Self {
+        ChainSpec::Ethereum(EthereumConfig::default())
+    }
+
+    /// Fabric with the paper's deployment defaults (1 orderer + 4 peers).
+    pub fn fabric_default() -> Self {
+        ChainSpec::Fabric(FabricConfig::default())
+    }
+
+    /// Neuchain with the paper's deployment defaults (epoch server +
+    /// client proxy + 3 block servers).
+    pub fn neuchain_default() -> Self {
+        ChainSpec::Neuchain(NeuchainConfig::default())
+    }
+
+    /// Meepo with the paper's deployment defaults (2 shards × 3 nodes).
+    pub fn meepo_default() -> Self {
+        ChainSpec::Meepo(MeepoConfig::default())
+    }
+
+    /// The chain's display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ChainSpec::Ethereum(_) => "ethereum-sim",
+            ChainSpec::Fabric(_) => "fabric-sim",
+            ChainSpec::Neuchain(_) => "neuchain-sim",
+            ChainSpec::Meepo(_) => "meepo-sim",
+        }
+    }
+
+    /// Default specs for all four systems, in the paper's Fig. 6 order.
+    pub fn all_defaults() -> Vec<ChainSpec> {
+        vec![
+            Self::ethereum_default(),
+            Self::fabric_default(),
+            Self::meepo_default(),
+            Self::neuchain_default(),
+        ]
+    }
+}
+
+enum Handle {
+    Ethereum(Arc<EthereumSim>),
+    Fabric(Arc<FabricSim>),
+    Neuchain(Arc<NeuchainSim>),
+    Meepo(Arc<MeepoSim>),
+}
+
+/// A running simulated SUT.
+pub struct Deployment {
+    handle: Handle,
+    clock: SimClock,
+    net: SimNetwork,
+}
+
+impl std::fmt::Debug for Deployment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Deployment")
+            .field("chain", &self.client().chain_name())
+            .finish()
+    }
+}
+
+impl Deployment {
+    /// Deploys the SUT on a fresh simulated network whose clock runs
+    /// `speedup`× faster than wall time (1.0 = real time). Links follow
+    /// the paper's ~100 Mbps testbed.
+    pub fn up(spec: ChainSpec, speedup: f64) -> Self {
+        let clock = SimClock::with_speedup(speedup);
+        let net = SimNetwork::new(clock.clone(), LinkConfig::cloud_100mbps());
+        Self::up_on(spec, clock, net)
+    }
+
+    /// Deploys on an existing clock/network (shared-infrastructure runs).
+    pub fn up_on(spec: ChainSpec, clock: SimClock, net: SimNetwork) -> Self {
+        let handle = match spec {
+            ChainSpec::Ethereum(config) => {
+                Handle::Ethereum(EthereumSim::start(config, clock.clone(), net.clone()))
+            }
+            ChainSpec::Fabric(config) => {
+                Handle::Fabric(FabricSim::start(config, clock.clone(), net.clone()))
+            }
+            ChainSpec::Neuchain(config) => {
+                Handle::Neuchain(NeuchainSim::start(config, clock.clone(), net.clone()))
+            }
+            ChainSpec::Meepo(config) => {
+                Handle::Meepo(MeepoSim::start(config, clock.clone(), net.clone()))
+            }
+        };
+        Deployment { handle, clock, net }
+    }
+
+    /// The generic client handle the driver programs against.
+    pub fn client(&self) -> Arc<dyn BlockchainClient> {
+        match &self.handle {
+            Handle::Ethereum(c) => Arc::clone(c) as Arc<dyn BlockchainClient>,
+            Handle::Fabric(c) => Arc::clone(c) as Arc<dyn BlockchainClient>,
+            Handle::Neuchain(c) => Arc::clone(c) as Arc<dyn BlockchainClient>,
+            Handle::Meepo(c) => Arc::clone(c) as Arc<dyn BlockchainClient>,
+        }
+    }
+
+    /// Seeds an account with initial balances (genesis allocation — the
+    /// preparation-phase fixture the paper's client installs).
+    pub fn seed_account(&self, account: Address, checking: u64, savings: u64) {
+        match &self.handle {
+            Handle::Ethereum(c) => c.seed_account(account, checking, savings),
+            Handle::Fabric(c) => c.seed_account(account, checking, savings),
+            Handle::Neuchain(c) => c.seed_account(account, checking, savings),
+            Handle::Meepo(c) => c.seed_account(account, checking, savings),
+        }
+    }
+
+    /// The simulation clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// The simulated network (resource monitoring reads its counters).
+    pub fn net(&self) -> &SimNetwork {
+        &self.net
+    }
+
+    /// Stops block production.
+    pub fn down(&self) {
+        self.client().shutdown();
+    }
+}
+
+impl Drop for Deployment {
+    fn drop(&mut self) {
+        self.down();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_four_chains_deploy() {
+        for spec in ChainSpec::all_defaults() {
+            let name = spec.name();
+            let deployment = Deployment::up(spec, 1000.0);
+            assert_eq!(deployment.client().chain_name(), name);
+            assert_eq!(deployment.client().latest_height(0).unwrap(), 0);
+            deployment.down();
+        }
+    }
+
+    #[test]
+    fn seeding_reaches_the_chain() {
+        let deployment = Deployment::up(ChainSpec::fabric_default(), 1000.0);
+        let account = Address::from_name("seeded");
+        deployment.seed_account(account, 123, 456);
+        // Verify through the workload path: a balance query via submit
+        // would need the full driver; use pending_txs as a liveness probe
+        // and trust the chain test suites for semantics.
+        assert_eq!(deployment.client().pending_txs().unwrap(), 0);
+    }
+
+    #[test]
+    fn spec_names() {
+        assert_eq!(ChainSpec::ethereum_default().name(), "ethereum-sim");
+        assert_eq!(ChainSpec::fabric_default().name(), "fabric-sim");
+        assert_eq!(ChainSpec::neuchain_default().name(), "neuchain-sim");
+        assert_eq!(ChainSpec::meepo_default().name(), "meepo-sim");
+    }
+}

@@ -1,0 +1,953 @@
+//! The evaluation driver: preparation → execution → report (Fig. 3).
+//!
+//! [`Evaluation::run`] takes a deployed SUT, a workload profile, and a
+//! temporal control sequence, and produces an [`EvalReport`]:
+//!
+//! 1. **Preparation** — seed the account fixtures, generate the unsigned
+//!    transactions, and sign them with the configured strategy
+//!    ([`SigningStrategy`]). With [`SigningStrategy::Pipelined`] the
+//!    execution phase starts while signing is still running (§III-D2).
+//! 2. **Execution** — `clients × threads` submission workers drain the
+//!    signed-transaction stream under the control sequence's per-slice
+//!    budgets, each paying the modelled client-machine cost per
+//!    submission. A monitor tracks commitment according to the
+//!    [`TestingMode`]:
+//!    * [`TestingMode::TaskProcessing`] — Hammer's Algorithm 1: poll for
+//!      new blocks, take the *block timestamp* as the end time, and match
+//!      via the Bloom-filtered dynamic hash index (O(1) per transaction).
+//!    * [`TestingMode::BatchBaseline`] — Blockbench-style batch testing:
+//!      same polling, but the end time is the *poll* time (the latency
+//!      skew ξ1 of §II-C1) and matching linearly scans the unconfirmed
+//!      queue (O(n·m)).
+//!    * [`TestingMode::Interactive`] — Caliper-style: subscribe to
+//!      per-transaction commit events; every event costs listener CPU on
+//!      the client machine (the resource drain the paper blames for
+//!      Caliper's lower reported TPS in Fig. 7).
+//! 3. **Report** — statuses flush into the Performance table
+//!    ([`hammer_store::TableStore`]) and aggregate into an [`EvalReport`].
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError};
+use hammer_chain::client::{BlockchainClient, ChainError};
+use hammer_chain::types::{SignedTransaction, Transaction, TxId, TxStatus};
+use hammer_crypto::sig::SigParams;
+use hammer_crypto::Keypair;
+use hammer_store::table::{LatencySummary, PerfRow, TableStore};
+use hammer_store::KvStore;
+use hammer_workload::{ControlSequence, SmallBankGenerator, WorkloadConfig, WorkloadKind, YcsbGenerator};
+use parking_lot::Mutex;
+
+use crate::baseline::BatchQueue;
+use crate::deploy::Deployment;
+use crate::index::{TxRecord, TxTable};
+use crate::machine::ClientMachine;
+use crate::signer;
+use crate::sync::{run_merger, StatusRecord, StatusSyncer};
+
+/// How commitment is observed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TestingMode {
+    /// Hammer's asynchronous task processing (Algorithm 1).
+    TaskProcessing,
+    /// Blockbench-style batch testing (O(n·m) queue matching, poll-time
+    /// end times).
+    BatchBaseline,
+    /// Caliper-style interactive testing (per-transaction event
+    /// listening).
+    Interactive,
+}
+
+/// How the workload is signed (§III-D, Fig. 4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SigningStrategy {
+    /// One thread, then execute (Fig. 4a).
+    Serial,
+    /// Thread pool, wait for all, then execute (Fig. 4b).
+    Async,
+    /// Thread pool streaming into execution (Fig. 4c).
+    Pipelined,
+}
+
+/// Driver configuration.
+#[derive(Clone, Debug)]
+pub struct EvalConfig {
+    /// Commitment-observation mode.
+    pub mode: TestingMode,
+    /// Signing strategy.
+    pub signing: SigningStrategy,
+    /// Signer thread-pool size for the async/pipelined strategies.
+    pub signer_threads: usize,
+    /// The modelled client machine.
+    pub machine: ClientMachine,
+    /// Signature scheme parameters (shared with the SUT).
+    pub sig_params: SigParams,
+    /// Block-polling interval in simulated time (ξ1: large intervals skew
+    /// batch-baseline latency; small intervals burn CPU).
+    pub poll_interval: Duration,
+    /// How long (simulated) to keep monitoring after the last submission
+    /// before declaring the stragglers timed out.
+    pub drain_timeout: Duration,
+    /// Interactive mode: listener CPU cost per commit event.
+    pub listen_cost: Duration,
+    /// Interactive mode: how many undelivered commit events the client
+    /// SDK buffers before the transport drops them (the paper's "loss of
+    /// response information ... under heavy load").
+    pub event_buffer: usize,
+    /// Route statuses through the Fig. 2 Redis→MySQL pipeline
+    /// ([`crate::sync`]) instead of writing the Performance table
+    /// directly at the end of the run.
+    pub live_sync: bool,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig {
+            mode: TestingMode::TaskProcessing,
+            signing: SigningStrategy::Pipelined,
+            signer_threads: 4,
+            machine: ClientMachine::paper_client(),
+            sig_params: SigParams::fast(),
+            poll_interval: Duration::from_millis(100),
+            drain_timeout: Duration::from_secs(60),
+            listen_cost: Duration::from_micros(400),
+            event_buffer: 1_000,
+            live_sync: false,
+        }
+    }
+}
+
+/// Driver failure.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EvalError {
+    /// A configuration did not validate.
+    InvalidConfig(String),
+    /// The SUT failed.
+    Chain(ChainError),
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            EvalError::Chain(e) => write!(f, "chain error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// The result of one evaluation run.
+#[derive(Clone, Debug)]
+pub struct EvalReport {
+    /// The evaluated chain's name.
+    pub chain: String,
+    /// Transactions handed to the SUT.
+    pub submitted: u64,
+    /// Submissions the SUT rejected (overload/duplicate).
+    pub rejected: u64,
+    /// Committed successfully.
+    pub committed: usize,
+    /// Included on-chain but invalid (execution/MVCC failure).
+    pub failed: usize,
+    /// Never observed before the drain deadline.
+    pub timed_out: usize,
+    /// Committed transactions per second over the run span.
+    pub overall_tps: f64,
+    /// Latency distribution of committed transactions.
+    pub latency: LatencySummary,
+    /// Committed transactions per simulated second (time series).
+    pub tps_series: Vec<usize>,
+    /// Per-client committed counts.
+    pub per_client_committed: Vec<(u32, usize)>,
+    /// Per-shard committed counts (shard-aware load report; a single
+    /// entry for non-sharded chains).
+    pub per_shard_committed: Vec<(u32, usize)>,
+    /// Simulated duration from first submission to last commit.
+    pub sim_duration: Duration,
+    /// Wall-clock duration of the run.
+    pub wall_time: Duration,
+    /// Rows that travelled the Fig. 2 KV→table pipeline (0 unless
+    /// [`EvalConfig::live_sync`] is on).
+    pub synced_rows: usize,
+    /// Task-processing index statistics (Bloom rejections, probe steps);
+    /// `None` for the batch baseline.
+    pub index_stats: Option<crate::index::IndexStats>,
+    /// The raw per-transaction records (for audits, §V-C).
+    pub records: Vec<TxRecord>,
+}
+
+/// Internal: one interface over the two status-tracking structures.
+/// `complete` returns the finished record so callers (the live-sync
+/// pipeline) can publish it without a second lookup.
+trait Tracker: Send {
+    fn insert(&mut self, id: TxId, client: u32, server: u32, start: Duration);
+    fn complete(&mut self, id: &TxId, end: Duration, ok: bool) -> Option<TxRecord>;
+    fn pending(&self) -> usize;
+    fn index_stats(&self) -> Option<crate::index::IndexStats> {
+        None
+    }
+    fn into_records(self: Box<Self>) -> Vec<TxRecord>;
+}
+
+impl Tracker for TxTable {
+    fn insert(&mut self, id: TxId, client: u32, server: u32, start: Duration) {
+        TxTable::insert(self, id, client, server, start);
+    }
+    fn complete(&mut self, id: &TxId, end: Duration, ok: bool) -> Option<TxRecord> {
+        if TxTable::complete(self, id, end, ok) {
+            self.get(id).cloned()
+        } else {
+            None
+        }
+    }
+    fn pending(&self) -> usize {
+        TxTable::pending(self)
+    }
+    fn index_stats(&self) -> Option<crate::index::IndexStats> {
+        Some(self.stats())
+    }
+    fn into_records(self: Box<Self>) -> Vec<TxRecord> {
+        self.records().to_vec()
+    }
+}
+
+impl Tracker for BatchQueue {
+    fn insert(&mut self, id: TxId, client: u32, server: u32, start: Duration) {
+        BatchQueue::insert(self, id, client, server, start);
+    }
+    fn complete(&mut self, id: &TxId, end: Duration, ok: bool) -> Option<TxRecord> {
+        if BatchQueue::complete(self, id, end, ok) {
+            self.records().last().cloned()
+        } else {
+            None
+        }
+    }
+    fn pending(&self) -> usize {
+        BatchQueue::pending(self)
+    }
+    fn into_records(mut self: Box<Self>) -> Vec<TxRecord> {
+        BatchQueue::timeout_pending(&mut self);
+        self.records().to_vec()
+    }
+}
+
+/// The evaluation orchestrator.
+#[derive(Clone, Debug)]
+pub struct Evaluation {
+    config: EvalConfig,
+}
+
+impl Evaluation {
+    /// Creates an evaluation with the given driver configuration.
+    pub fn new(config: EvalConfig) -> Self {
+        Evaluation { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &EvalConfig {
+        &self.config
+    }
+
+    /// Runs the full preparation → execution → report flow.
+    pub fn run(
+        &self,
+        deployment: &Deployment,
+        workload: &WorkloadConfig,
+        control: &ControlSequence,
+    ) -> Result<EvalReport, EvalError> {
+        let wall_start = std::time::Instant::now();
+        self.config
+            .machine
+            .validate()
+            .map_err(EvalError::InvalidConfig)?;
+        workload
+            .validate()
+            .map_err(|e| EvalError::InvalidConfig(e.to_string()))?;
+        if control.is_empty() || control.total() == 0 {
+            return Err(EvalError::InvalidConfig(
+                "control sequence has no budget".to_owned(),
+            ));
+        }
+        if self.config.poll_interval.is_zero() {
+            return Err(EvalError::InvalidConfig(
+                "poll_interval must be positive".to_owned(),
+            ));
+        }
+
+        let chain = deployment.client();
+        let clock = deployment.clock().clone();
+
+        // ---- Preparation (Fig. 3, steps 1-3) ----
+        let total = control.total() as usize;
+        let mut generation_config = workload.clone();
+        generation_config.total_txs = total;
+
+        let unsigned: Vec<Transaction> = match workload.kind {
+            WorkloadKind::SmallBank => {
+                let mut generator = SmallBankGenerator::new(generation_config);
+                for account in generator.accounts() {
+                    deployment.seed_account(
+                        *account,
+                        workload.initial_checking,
+                        workload.initial_savings,
+                    );
+                }
+                generator.generate_all()
+            }
+            WorkloadKind::Ycsb => YcsbGenerator::new(generation_config).generate_all(),
+        };
+
+        let keypair = Keypair::from_seed(workload.seed);
+        let signed_rx: Receiver<SignedTransaction> = match self.config.signing {
+            SigningStrategy::Pipelined => signer::sign_pipelined(
+                unsigned,
+                keypair,
+                self.config.sig_params,
+                self.config.signer_threads,
+            ),
+            SigningStrategy::Serial | SigningStrategy::Async => {
+                let signed = match self.config.signing {
+                    SigningStrategy::Serial => {
+                        signer::sign_serial(unsigned, &keypair, &self.config.sig_params)
+                    }
+                    _ => signer::sign_async(
+                        unsigned,
+                        &keypair,
+                        &self.config.sig_params,
+                        self.config.signer_threads,
+                    ),
+                };
+                let (tx_side, rx) = bounded(signed.len().max(1));
+                for tx in signed {
+                    tx_side.send(tx).expect("channel sized for batch");
+                }
+                rx
+            }
+        };
+
+        // ---- Execution (Fig. 3, steps 4-6) ----
+        let workers = (workload.clients * workload.threads_per_client).max(1);
+        // Contention is per client machine: each client's threads share
+        // that client's vCPUs (the paper's clients are separate 2-vCPU
+        // instances). Caliper-style interactive testing runs an event
+        // listener in every client process, adding one contender.
+        let active_threads = match self.config.mode {
+            TestingMode::Interactive => workload.threads_per_client + 1,
+            _ => workload.threads_per_client,
+        };
+        let tracker: Arc<Mutex<Box<dyn Tracker>>> = Arc::new(Mutex::new(match self.config.mode {
+            TestingMode::BatchBaseline => Box::new(BatchQueue::new()),
+            _ => Box::new(TxTable::with_capacity(total)),
+        }));
+        let submitted = AtomicU64::new(0);
+        let rejected = AtomicU64::new(0);
+        let rejected_ids: Mutex<HashSet<TxId>> = Mutex::new(HashSet::new());
+        let done_submitting = AtomicBool::new(false);
+        let drain_deadline: Mutex<Option<Duration>> = Mutex::new(None);
+
+        // Interactive mode must subscribe before anything commits.
+        let events_rx = match self.config.mode {
+            TestingMode::Interactive => Some(chain.subscribe_commits()),
+            _ => None,
+        };
+
+        // Fig. 2 Redis→MySQL pipeline (steps 4-6), when enabled: statuses
+        // flow through per-server KV lists into the Performance table via
+        // a background merger.
+        let chain_name_for_sync = chain.chain_name().to_owned();
+        let kv = Arc::new(KvStore::new());
+        let live_table = Arc::new(TableStore::new());
+        let merger_stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let server_ids: Vec<u32> = (0..workload.threads_per_client.max(1)).collect();
+        let merger = if self.config.live_sync {
+            let kv = Arc::clone(&kv);
+            let table = Arc::clone(&live_table);
+            let stop = Arc::clone(&merger_stop);
+            let ids = server_ids.clone();
+            let name = chain_name_for_sync.clone();
+            Some(
+                std::thread::Builder::new()
+                    .name("hammer-merger".to_owned())
+                    .spawn(move || {
+                        run_merger(&kv, &table, &name, &ids, Duration::from_millis(5), &stop)
+                    })
+                    .expect("spawn merger"),
+            )
+        } else {
+            None
+        };
+        let syncer = self
+            .config
+            .live_sync
+            .then(|| StatusSyncer::new(Arc::clone(&kv), 0));
+        let shard_commits: Arc<Mutex<std::collections::BTreeMap<u32, usize>>> =
+            Arc::new(Mutex::new(std::collections::BTreeMap::new()));
+
+        // Per-slice budget tokens.
+        let (token_tx, token_rx) = bounded::<()>((control.peak() as usize).max(1) * 2 + 16);
+
+        std::thread::scope(|scope| {
+            // Pacer: releases each slice's budget on the simulated clock.
+            let pacer_clock = clock.clone();
+            let pacer_control = control.clone();
+            scope.spawn(move || {
+                for i in 0..pacer_control.len() {
+                    for _ in 0..pacer_control.budget(i) {
+                        if token_tx.send(()).is_err() {
+                            return;
+                        }
+                    }
+                    pacer_clock.sleep(pacer_control.slice_duration());
+                }
+                // Dropping the sender ends the token stream.
+            });
+
+            // Submission workers.
+            let mut worker_handles = Vec::new();
+            for _ in 0..workers {
+                let token_rx = token_rx.clone();
+                let signed_rx = signed_rx.clone();
+                let chain = Arc::clone(&chain);
+                let clock = clock.clone();
+                let tracker = Arc::clone(&tracker);
+                let submitted = &submitted;
+                let rejected = &rejected;
+                let rejected_ids = &rejected_ids;
+                let machine = self.config.machine;
+                worker_handles.push(scope.spawn(move || {
+                    // Pace by absolute schedule: each worker may submit at
+                    // most once per submit_delay of simulated time. An
+                    // absolute deadline self-corrects when the host
+                    // deschedules the thread (single-core hosts).
+                    let mut next_allowed = clock.now();
+                    loop {
+                        if token_rx.recv().is_err() {
+                            return; // control sequence exhausted
+                        }
+                        let tx = match signed_rx.recv() {
+                            Ok(tx) => tx,
+                            Err(_) => return, // workload exhausted
+                        };
+                        // Client-machine cost of preparing this submission.
+                        clock.sleep_until(next_allowed);
+                        next_allowed =
+                            clock.now().max(next_allowed) + machine.submit_delay(active_threads);
+                        let id = tx.id;
+                        let client_id = tx.tx.client_id;
+                        let server_id = tx.tx.server_id;
+                        let start = clock.now();
+                        // Register before submitting so a fast commit can
+                        // never race past the tracker.
+                        tracker.lock().insert(id, client_id, server_id, start);
+                        match chain.submit(tx) {
+                            Ok(_) => {
+                                submitted.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(_) => {
+                                rejected.fetch_add(1, Ordering::Relaxed);
+                                rejected_ids.lock().insert(id);
+                                let _ = tracker.lock().complete(&id, start, false);
+                            }
+                        }
+                    }
+                }));
+            }
+            drop(token_rx);
+            drop(signed_rx);
+
+            // Monitor.
+            let monitor_chain = Arc::clone(&chain);
+            let monitor_clock = clock.clone();
+            let monitor_tracker = Arc::clone(&tracker);
+            let done = &done_submitting;
+            let deadline = &drain_deadline;
+            let mode = self.config.mode;
+            let poll_interval = self.config.poll_interval;
+            let listen_cost = self.config.listen_cost;
+            let event_buffer = self.config.event_buffer;
+            let machine = self.config.machine;
+            let monitor_syncer = syncer.clone();
+            let monitor_shards = Arc::clone(&shard_commits);
+            let monitor = scope.spawn(move || {
+                match mode {
+                    TestingMode::Interactive => {
+                        let rx = events_rx.expect("subscribed above");
+                        interactive_monitor(
+                            rx,
+                            monitor_clock,
+                            monitor_tracker,
+                            done,
+                            deadline,
+                            listen_cost,
+                            event_buffer,
+                            machine,
+                            active_threads,
+                            monitor_syncer,
+                            monitor_shards,
+                        );
+                    }
+                    _ => {
+                        polling_monitor(
+                            monitor_chain,
+                            monitor_clock,
+                            monitor_tracker,
+                            done,
+                            deadline,
+                            poll_interval,
+                            mode,
+                            monitor_syncer,
+                            monitor_shards,
+                        );
+                    }
+                }
+            });
+
+            for handle in worker_handles {
+                handle.join().expect("submission worker panicked");
+            }
+            *drain_deadline.lock() = Some(clock.now() + self.config.drain_timeout);
+            done_submitting.store(true, Ordering::Release);
+            monitor.join().expect("monitor panicked");
+        });
+
+        // ---- Report (Fig. 3, step 7) ----
+        let tracker = Arc::try_unwrap(tracker)
+            .unwrap_or_else(|_| panic!("tracker still shared after scope"))
+            .into_inner();
+        let index_stats = tracker.index_stats();
+        let mut records = tracker.into_records();
+        let rejected_ids = rejected_ids.into_inner();
+        // Anything still pending after the drain deadline timed out.
+        for record in &mut records {
+            if record.status == TxStatus::Pending {
+                record.status = TxStatus::TimedOut;
+            }
+        }
+
+        let chain_name = chain.chain_name().to_owned();
+        let mut synced_rows = 0usize;
+        let table = if self.config.live_sync {
+            // Flush the stragglers (timed-out / rejected-adjacent records
+            // never produced a completion event) through the same
+            // pipeline, then stop the merger and adopt its table.
+            if let Some(syncer) = &syncer {
+                for r in records
+                    .iter()
+                    .filter(|r| !rejected_ids.contains(&r.tx_id))
+                    .filter(|r| r.status == TxStatus::TimedOut)
+                {
+                    syncer.publish(&record_to_status(r));
+                }
+            }
+            merger_stop.store(true, Ordering::Release);
+            if let Some(handle) = merger {
+                synced_rows = handle.join().expect("merger panicked");
+            }
+            Arc::try_unwrap(live_table).unwrap_or_else(|arc| {
+                // The merger has exited; any remaining Arc clones are gone.
+                TableStore::new_from_rows(arc.all_rows())
+            })
+        } else {
+            merger_stop.store(true, Ordering::Release);
+            if let Some(handle) = merger {
+                handle.join().expect("merger panicked");
+            }
+            let table = TableStore::new();
+            table.insert_batch(
+                records
+                    .iter()
+                    .filter(|r| !rejected_ids.contains(&r.tx_id))
+                    .map(|r| PerfRow {
+                        tx_id: r.tx_id.fingerprint(),
+                        client_id: r.client_id,
+                        server_id: r.server_id,
+                        chain: chain_name.clone(),
+                        start_time: r.start,
+                        end_time: r.end,
+                        status_ok: r.status == TxStatus::Committed,
+                    })
+                    .collect(),
+            );
+            table
+        };
+
+        let committed = records
+            .iter()
+            .filter(|r| r.status == TxStatus::Committed)
+            .count();
+        let failed = records
+            .iter()
+            .filter(|r| r.status == TxStatus::Failed && !rejected_ids.contains(&r.tx_id))
+            .count();
+        let timed_out = records
+            .iter()
+            .filter(|r| r.status == TxStatus::TimedOut)
+            .count();
+
+        let per_shard_committed: Vec<(u32, usize)> = shard_commits
+            .lock()
+            .iter()
+            .map(|(shard, count)| (*shard, *count))
+            .collect();
+        let first_start = records.iter().map(|r| r.start).min().unwrap_or_default();
+        let last_end = records
+            .iter()
+            .filter_map(|r| r.end)
+            .max()
+            .unwrap_or(first_start);
+
+        Ok(EvalReport {
+            chain: chain_name,
+            submitted: submitted.load(Ordering::Relaxed),
+            rejected: rejected.load(Ordering::Relaxed),
+            committed,
+            failed,
+            timed_out,
+            overall_tps: table.overall_tps(),
+            latency: table.latency_summary(),
+            tps_series: table.tps_series(Duration::from_secs(1)),
+            per_client_committed: table.per_client_committed(),
+            per_shard_committed,
+            sim_duration: last_end.saturating_sub(first_start),
+            wall_time: wall_start.elapsed(),
+            synced_rows,
+            index_stats,
+            records,
+        })
+    }
+}
+
+/// Converts a finished tracker record into a publishable status record.
+fn record_to_status(record: &TxRecord) -> StatusRecord {
+    StatusRecord {
+        tx_fingerprint: record.tx_id.fingerprint(),
+        client_id: record.client_id,
+        server_id: record.server_id,
+        start_ns: record.start.as_nanos() as u64,
+        end_ns: record
+            .end
+            .map(|e| e.as_nanos() as u64)
+            .unwrap_or(u64::MAX),
+        ok: record.status == TxStatus::Committed,
+    }
+}
+
+/// Batch-testing monitor shared by Hammer task processing and the
+/// Blockbench baseline. The difference is the end-time source: Algorithm 1
+/// records the *block* time; the baseline only knows the *poll* time.
+#[allow(clippy::too_many_arguments)]
+fn polling_monitor(
+    chain: Arc<dyn BlockchainClient>,
+    clock: hammer_net::SimClock,
+    tracker: Arc<Mutex<Box<dyn Tracker>>>,
+    done: &AtomicBool,
+    deadline: &Mutex<Option<Duration>>,
+    poll_interval: Duration,
+    mode: TestingMode,
+    syncer: Option<StatusSyncer>,
+    shard_commits: Arc<Mutex<std::collections::BTreeMap<u32, usize>>>,
+) {
+    let shards = chain.architecture().shard_count();
+    let mut last_seen = vec![0u64; shards as usize];
+    loop {
+        for shard in 0..shards {
+            let height = match chain.latest_height(shard) {
+                Ok(h) => h,
+                Err(_) => return,
+            };
+            while last_seen[shard as usize] < height {
+                let next = last_seen[shard as usize] + 1;
+                last_seen[shard as usize] = next;
+                let block = match chain.block_at(shard, next) {
+                    Ok(Some(b)) => b,
+                    Ok(None) => continue,
+                    Err(_) => return,
+                };
+                let end = match mode {
+                    // Algorithm 1: block creation time is the end time.
+                    TestingMode::TaskProcessing => block.header.timestamp,
+                    // Batch baseline: the poll time stands in (ξ1 skew).
+                    _ => clock.now(),
+                };
+                let mut tracker = tracker.lock();
+                let mut committed_here = 0usize;
+                for (tx_id, ok) in block.entries() {
+                    if let Some(record) = tracker.complete(&tx_id, end, ok) {
+                        if ok {
+                            committed_here += 1;
+                        }
+                        if let Some(syncer) = &syncer {
+                            syncer.publish(&record_to_status(&record));
+                        }
+                    }
+                }
+                drop(tracker);
+                if committed_here > 0 {
+                    *shard_commits.lock().entry(shard).or_insert(0) += committed_here;
+                }
+            }
+        }
+        if done.load(Ordering::Acquire) {
+            let pending = tracker.lock().pending();
+            if pending == 0 {
+                return;
+            }
+            if let Some(d) = *deadline.lock() {
+                if clock.now() >= d {
+                    return;
+                }
+            }
+        }
+        clock.sleep(poll_interval);
+    }
+}
+
+/// Caliper-style per-event listener.
+#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)]
+fn interactive_monitor(
+    rx: Receiver<hammer_chain::client::CommitEvent>,
+    clock: hammer_net::SimClock,
+    tracker: Arc<Mutex<Box<dyn Tracker>>>,
+    done: &AtomicBool,
+    deadline: &Mutex<Option<Duration>>,
+    listen_cost: Duration,
+    event_buffer: usize,
+    machine: ClientMachine,
+    active_threads: u32,
+    syncer: Option<StatusSyncer>,
+    shard_commits: Arc<Mutex<std::collections::BTreeMap<u32, usize>>>,
+) {
+    // The listener time-shares the client machine with the submitters.
+    let share = (active_threads.max(1) as f64 / machine.vcpus.max(1) as f64).max(1.0);
+    let per_event = listen_cost.mul_f64(share);
+    loop {
+        match rx.recv_timeout(Duration::from_millis(20)) {
+            Ok(event) => {
+                // A listener that has fallen behind by more than the SDK
+                // buffer loses responses — transactions that actually
+                // committed never get counted, which is exactly why
+                // interactive frameworks under-report under heavy load
+                // (paper §V-A).
+                if rx.len() > event_buffer {
+                    continue;
+                }
+                // Parsing/handling the response costs client CPU — the
+                // resource wastage the paper attributes to interactive
+                // testing under heavy load.
+                clock.sleep(per_event);
+                let record = tracker
+                    .lock()
+                    .complete(&event.tx_id, event.committed_at, event.success);
+                if let Some(record) = record {
+                    if event.success {
+                        *shard_commits.lock().entry(event.shard).or_insert(0) += 1;
+                    }
+                    if let Some(syncer) = &syncer {
+                        syncer.publish(&record_to_status(&record));
+                    }
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+        if done.load(Ordering::Acquire) {
+            let pending = tracker.lock().pending();
+            if pending == 0 {
+                return;
+            }
+            if let Some(d) = *deadline.lock() {
+                if clock.now() >= d {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deploy::ChainSpec;
+    use hammer_neuchain::NeuchainConfig;
+
+    fn small_workload(total: usize) -> WorkloadConfig {
+        WorkloadConfig {
+            accounts: 50,
+            total_txs: total,
+            clients: 2,
+            threads_per_client: 2,
+            ..WorkloadConfig::default()
+        }
+    }
+
+    fn fast_config() -> EvalConfig {
+        EvalConfig {
+            poll_interval: Duration::from_millis(20),
+            drain_timeout: Duration::from_secs(30),
+            ..EvalConfig::default()
+        }
+    }
+
+    #[test]
+    fn evaluates_neuchain_end_to_end() {
+        let deployment = Deployment::up(ChainSpec::neuchain_default(), 1000.0);
+        let control = ControlSequence::constant(100, 3, Duration::from_secs(1));
+        let report = Evaluation::new(fast_config())
+            .run(&deployment, &small_workload(300), &control)
+            .unwrap();
+        assert_eq!(report.chain, "neuchain-sim");
+        assert_eq!(report.submitted, 300);
+        assert_eq!(report.committed + report.failed + report.timed_out, 300);
+        assert!(report.committed > 250, "committed = {}", report.committed);
+        assert!(report.overall_tps > 0.0);
+        assert!(report.latency.count > 0);
+    }
+
+    #[test]
+    fn batch_baseline_also_completes() {
+        let deployment = Deployment::up(ChainSpec::neuchain_default(), 1000.0);
+        let control = ControlSequence::constant(50, 2, Duration::from_secs(1));
+        let report = Evaluation::new(EvalConfig {
+            mode: TestingMode::BatchBaseline,
+            ..fast_config()
+        })
+        .run(&deployment, &small_workload(100), &control)
+        .unwrap();
+        assert!(report.committed > 80, "committed = {}", report.committed);
+    }
+
+    #[test]
+    fn interactive_mode_tracks_events() {
+        let deployment = Deployment::up(ChainSpec::neuchain_default(), 1000.0);
+        let control = ControlSequence::constant(50, 2, Duration::from_secs(1));
+        let report = Evaluation::new(EvalConfig {
+            mode: TestingMode::Interactive,
+            ..fast_config()
+        })
+        .run(&deployment, &small_workload(100), &control)
+        .unwrap();
+        assert!(report.committed > 80, "committed = {}", report.committed);
+    }
+
+    #[test]
+    fn sharded_chain_evaluated_through_same_driver() {
+        let deployment = Deployment::up(ChainSpec::meepo_default(), 1000.0);
+        let control = ControlSequence::constant(60, 3, Duration::from_secs(1));
+        let report = Evaluation::new(fast_config())
+            .run(&deployment, &small_workload(180), &control)
+            .unwrap();
+        assert_eq!(report.chain, "meepo-sim");
+        assert!(report.committed > 100, "committed = {}", report.committed);
+        // Shard-aware load report: both shards carried traffic, and the
+        // per-shard counts sum to the committed total.
+        assert_eq!(report.per_shard_committed.len(), 2, "{:?}", report.per_shard_committed);
+        let total: usize = report.per_shard_committed.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, report.committed);
+    }
+
+    #[test]
+    fn empty_control_sequence_rejected() {
+        let deployment = Deployment::up(ChainSpec::neuchain_default(), 1000.0);
+        let control = ControlSequence::from_budgets(vec![], Duration::from_secs(1));
+        let err = Evaluation::new(fast_config())
+            .run(&deployment, &small_workload(10), &control)
+            .unwrap_err();
+        assert!(matches!(err, EvalError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn serial_and_pipelined_signing_agree_on_outcomes() {
+        for signing in [SigningStrategy::Serial, SigningStrategy::Async, SigningStrategy::Pipelined] {
+            let deployment = Deployment::up(
+                ChainSpec::Neuchain(NeuchainConfig::default()),
+                1000.0,
+            );
+            let control = ControlSequence::constant(40, 2, Duration::from_secs(1));
+            let report = Evaluation::new(EvalConfig {
+                signing,
+                ..fast_config()
+            })
+            .run(&deployment, &small_workload(80), &control)
+            .unwrap();
+            assert!(
+                report.committed > 60,
+                "{signing:?}: committed = {}",
+                report.committed
+            );
+        }
+    }
+
+    #[test]
+    fn live_sync_pipeline_matches_direct_path() {
+        let control = ControlSequence::constant(60, 3, Duration::from_secs(1));
+        let run = |live_sync: bool| {
+            let deployment = Deployment::up(ChainSpec::neuchain_default(), 500.0);
+            Evaluation::new(EvalConfig {
+                live_sync,
+                ..fast_config()
+            })
+            .run(&deployment, &small_workload(180), &control)
+            .unwrap()
+        };
+        let direct = run(false);
+        let synced = run(true);
+        assert_eq!(direct.synced_rows, 0);
+        // Every non-rejected record travelled the KV pipeline.
+        assert_eq!(
+            synced.synced_rows as u64,
+            180 - synced.rejected,
+            "pipeline dropped rows"
+        );
+        // Both paths agree on the totals (timing-sensitive metrics like
+        // TPS are compared loosely; the runs are separate executions).
+        assert_eq!(
+            direct.committed + direct.failed + direct.timed_out,
+            synced.committed + synced.failed + synced.timed_out
+        );
+        assert!(synced.committed > 150, "committed = {}", synced.committed);
+        assert!(synced.overall_tps > 0.0);
+        assert!(synced.latency.count > 0);
+    }
+
+    #[test]
+    fn ycsb_workload_runs() {
+        let deployment = Deployment::up(ChainSpec::neuchain_default(), 1000.0);
+        let control = ControlSequence::constant(50, 2, Duration::from_secs(1));
+        let workload = WorkloadConfig {
+            kind: WorkloadKind::Ycsb,
+            accounts: 100,
+            read_ratio: 0.5,
+            ..small_workload(100)
+        };
+        let report = Evaluation::new(fast_config())
+            .run(&deployment, &workload, &control)
+            .unwrap();
+        assert!(report.committed > 80, "committed = {}", report.committed);
+    }
+
+    #[test]
+    fn control_sequence_paces_submission() {
+        // A bursty control sequence should shape the tps series: the
+        // burst slice dominates. Run at a modest speed-up so scheduling
+        // noise on loaded single-core hosts cannot smear the burst.
+        let deployment = Deployment::up(ChainSpec::neuchain_default(), 200.0);
+        let control =
+            ControlSequence::from_budgets(vec![10, 200, 10], Duration::from_secs(1));
+        let report = Evaluation::new(fast_config())
+            .run(&deployment, &small_workload(220), &control)
+            .unwrap();
+        assert!(report.committed > 150);
+        let peak = report.tps_series.iter().max().copied().unwrap_or(0);
+        let sum: usize = report.tps_series.iter().sum();
+        assert!(
+            peak * 5 > sum * 2,
+            "no burst visible in series {:?}",
+            report.tps_series
+        );
+    }
+}

@@ -1,0 +1,236 @@
+//! Binary Merkle trees with inclusion proofs.
+//!
+//! Chain simulators commit to the transaction list of each block with a
+//! Merkle root, and the evaluation driver can audit a claimed commit by
+//! verifying a [`MerkleProof`].
+//!
+//! Odd levels duplicate the last node (the Bitcoin convention); the empty
+//! tree has the all-zero root.
+
+use crate::sha256::{sha256_pair, Digest};
+use crate::Hash32;
+
+/// A fully materialised binary Merkle tree over a list of leaf hashes.
+///
+/// ```
+/// use hammer_crypto::{sha256, MerkleTree};
+///
+/// let leaves: Vec<_> = ["a", "b", "c"].iter().map(|s| sha256(s.as_bytes())).collect();
+/// let tree = MerkleTree::from_leaves(leaves.clone());
+/// let proof = tree.prove(1).unwrap();
+/// assert!(proof.verify(&leaves[1], &tree.root()));
+/// assert!(!proof.verify(&leaves[0], &tree.root()));
+/// ```
+#[derive(Clone, Debug)]
+pub struct MerkleTree {
+    /// levels[0] is the leaf level; the last level has exactly one node.
+    levels: Vec<Vec<Digest>>,
+}
+
+/// An inclusion proof: sibling hashes from leaf to root.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MerkleProof {
+    /// Index of the proven leaf.
+    pub leaf_index: usize,
+    /// Sibling hash at each level, leaf level first.
+    pub siblings: Vec<Digest>,
+}
+
+impl MerkleTree {
+    /// Builds a tree over pre-hashed leaves.
+    pub fn from_leaves(leaves: Vec<Digest>) -> Self {
+        if leaves.is_empty() {
+            return MerkleTree { levels: vec![] };
+        }
+        let mut levels = vec![leaves];
+        while levels.last().expect("nonempty").len() > 1 {
+            let prev = levels.last().expect("nonempty");
+            let mut next = Vec::with_capacity((prev.len() + 1) / 2);
+            for pair in prev.chunks(2) {
+                let left = &pair[0];
+                let right = pair.get(1).unwrap_or(left); // duplicate odd node
+                next.push(sha256_pair(left, right));
+            }
+            levels.push(next);
+        }
+        MerkleTree { levels }
+    }
+
+    /// Builds a tree by hashing each item with SHA-256 first.
+    pub fn from_items<T: AsRef<[u8]>>(items: &[T]) -> Self {
+        Self::from_leaves(items.iter().map(|i| crate::sha256(i.as_ref())).collect())
+    }
+
+    /// The Merkle root; all-zero for the empty tree.
+    pub fn root(&self) -> Hash32 {
+        self.levels
+            .last()
+            .map(|l| l[0])
+            .unwrap_or([0u8; 32])
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        self.levels.first().map(|l| l.len()).unwrap_or(0)
+    }
+
+    /// Whether the tree has no leaves.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Produces an inclusion proof for the leaf at `index`, or `None` if the
+    /// index is out of range.
+    pub fn prove(&self, index: usize) -> Option<MerkleProof> {
+        if index >= self.len() {
+            return None;
+        }
+        let mut siblings = Vec::with_capacity(self.levels.len().saturating_sub(1));
+        let mut idx = index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            let sibling_idx = idx ^ 1;
+            // When the level has odd length and idx is the last node, the
+            // sibling is the node itself (duplication rule).
+            let sibling = level.get(sibling_idx).unwrap_or(&level[idx]);
+            siblings.push(*sibling);
+            idx /= 2;
+        }
+        Some(MerkleProof {
+            leaf_index: index,
+            siblings,
+        })
+    }
+}
+
+impl MerkleProof {
+    /// Verifies that `leaf` is included under `root`.
+    pub fn verify(&self, leaf: &Digest, root: &Hash32) -> bool {
+        let mut acc = *leaf;
+        let mut idx = self.leaf_index;
+        for sibling in &self.siblings {
+            acc = if idx % 2 == 0 {
+                sha256_pair(&acc, sibling)
+            } else {
+                sha256_pair(sibling, &acc)
+            };
+            idx /= 2;
+        }
+        &acc == root
+    }
+}
+
+/// Computes just the Merkle root over items without materialising the tree.
+pub fn merkle_root<T: AsRef<[u8]>>(items: &[T]) -> Hash32 {
+    if items.is_empty() {
+        return [0u8; 32];
+    }
+    let mut level: Vec<Digest> = items.iter().map(|i| crate::sha256(i.as_ref())).collect();
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity((level.len() + 1) / 2);
+        for pair in level.chunks(2) {
+            let left = &pair[0];
+            let right = pair.get(1).unwrap_or(left);
+            next.push(sha256_pair(left, right));
+        }
+        level = next;
+    }
+    level[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256;
+    use proptest::prelude::*;
+
+    fn leaves(n: usize) -> Vec<Digest> {
+        (0..n).map(|i| sha256(format!("leaf-{i}").as_bytes())).collect()
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree = MerkleTree::from_leaves(vec![]);
+        assert!(tree.is_empty());
+        assert_eq!(tree.root(), [0u8; 32]);
+        assert!(tree.prove(0).is_none());
+    }
+
+    #[test]
+    fn single_leaf_root_is_leaf() {
+        let l = leaves(1);
+        let tree = MerkleTree::from_leaves(l.clone());
+        assert_eq!(tree.root(), l[0]);
+        let proof = tree.prove(0).unwrap();
+        assert!(proof.siblings.is_empty());
+        assert!(proof.verify(&l[0], &tree.root()));
+    }
+
+    #[test]
+    fn all_proofs_verify_across_sizes() {
+        for n in 1..=17 {
+            let l = leaves(n);
+            let tree = MerkleTree::from_leaves(l.clone());
+            for (i, leaf) in l.iter().enumerate() {
+                let proof = tree.prove(i).unwrap();
+                assert!(proof.verify(leaf, &tree.root()), "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_leaf_fails() {
+        let l = leaves(8);
+        let tree = MerkleTree::from_leaves(l.clone());
+        let proof = tree.prove(3).unwrap();
+        assert!(!proof.verify(&l[4], &tree.root()));
+    }
+
+    #[test]
+    fn wrong_index_fails() {
+        let l = leaves(8);
+        let tree = MerkleTree::from_leaves(l.clone());
+        let mut proof = tree.prove(3).unwrap();
+        proof.leaf_index = 2;
+        assert!(!proof.verify(&l[3], &tree.root()));
+    }
+
+    #[test]
+    fn root_changes_with_any_leaf() {
+        let l = leaves(9);
+        let base = MerkleTree::from_leaves(l.clone()).root();
+        for i in 0..l.len() {
+            let mut changed = l.clone();
+            changed[i] = sha256(b"tampered");
+            assert_ne!(MerkleTree::from_leaves(changed).root(), base, "leaf {i}");
+        }
+    }
+
+    #[test]
+    fn merkle_root_matches_tree() {
+        let items: Vec<String> = (0..13).map(|i| format!("tx-{i}")).collect();
+        let tree = MerkleTree::from_items(&items);
+        assert_eq!(merkle_root(&items), tree.root());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_proofs_verify(n in 1usize..60, pick in 0usize..60) {
+            let l = leaves(n);
+            let i = pick % n;
+            let tree = MerkleTree::from_leaves(l.clone());
+            let proof = tree.prove(i).unwrap();
+            prop_assert!(proof.verify(&l[i], &tree.root()));
+        }
+
+        #[test]
+        fn prop_tamper_detected(n in 2usize..40, pick in 0usize..40, other in 0usize..40) {
+            let l = leaves(n);
+            let i = pick % n;
+            let j = other % n;
+            prop_assume!(i != j);
+            let tree = MerkleTree::from_leaves(l.clone());
+            let proof = tree.prove(i).unwrap();
+            prop_assert!(!proof.verify(&l[j], &tree.root()));
+        }
+    }
+}

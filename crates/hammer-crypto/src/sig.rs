@@ -1,0 +1,334 @@
+//! A Schnorr-style signature scheme over the Mersenne prime field
+//! `p = 2^61 - 1`.
+//!
+//! # Why a from-scratch toy scheme?
+//!
+//! Hammer's asynchronous-signature optimisation (paper §III-D1, Fig. 8) is
+//! about the *computational cost* of signing every workload transaction. What
+//! the experiments need is a real sign/verify API whose cost is comparable to
+//! production ECDSA and cannot be optimised away. This scheme is
+//! **educational strength only** (a 61-bit modulus is trivially breakable);
+//! its purpose is a faithful cost and API profile, not security. The
+//! [`SigParams::cost_factor`] knob sets the number of hash-hardening rounds
+//! used to derive the challenge, which lets benchmarks dial signing cost to
+//! match production signers.
+//!
+//! # Construction
+//!
+//! Classic Schnorr in the multiplicative group of `Z_p`:
+//!
+//! * secret `x`, public `y = g^x mod p`
+//! * sign: deterministic nonce `k` (HMAC of secret and message, RFC-6979
+//!   style), `r = g^k`, challenge `e = H*(r || m || y)`,
+//!   `s = k + e·x mod (p-1)`
+//! * verify: `g^s == r · y^e (mod p)`
+//!
+//! where `H*` is SHA-256 iterated [`SigParams::cost_factor`] times.
+//!
+//! Reducing exponents modulo `p-1` is valid for any base because the group
+//! order divides `p-1` (Fermat), so correctness does not depend on the order
+//! of `g`.
+
+use crate::hmac::hmac_sha256;
+use crate::sha256::Sha256;
+
+/// The Mersenne prime modulus `2^61 - 1`.
+pub const P: u64 = (1u64 << 61) - 1;
+/// Order of the full multiplicative group, `p - 1`.
+pub const GROUP_ORDER: u64 = P - 1;
+/// The group generator.
+pub const G: u64 = 3;
+
+/// Scheme parameters.
+///
+/// The only knob is `cost_factor`, the number of SHA-256 rounds applied when
+/// deriving the challenge. Both signing and verification perform the same
+/// rounds, so the knob scales both costs together, mimicking heavier curves.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SigParams {
+    /// Number of challenge-hardening hash rounds (minimum 1).
+    pub cost_factor: u32,
+}
+
+impl SigParams {
+    /// Cheapest valid parameters; use in unit tests.
+    pub fn fast() -> Self {
+        SigParams { cost_factor: 1 }
+    }
+
+    /// Parameters tuned so one signature costs on the order of a production
+    /// ECDSA signature (tens of microseconds).
+    pub fn realistic() -> Self {
+        SigParams { cost_factor: 200 }
+    }
+
+    /// Custom cost. Values below 1 are clamped to 1.
+    pub fn with_cost(cost_factor: u32) -> Self {
+        SigParams {
+            cost_factor: cost_factor.max(1),
+        }
+    }
+}
+
+impl Default for SigParams {
+    fn default() -> Self {
+        Self::realistic()
+    }
+}
+
+/// A Schnorr-style signature `(r, s)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Signature {
+    /// Commitment `g^k mod p`.
+    pub r: u64,
+    /// Response `k + e·x mod (p-1)`.
+    pub s: u64,
+}
+
+impl Signature {
+    /// Serialises to 16 bytes (big-endian `r` then `s`).
+    pub fn to_bytes(self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&self.r.to_be_bytes());
+        out[8..].copy_from_slice(&self.s.to_be_bytes());
+        out
+    }
+
+    /// Parses 16 bytes produced by [`Signature::to_bytes`]. Returns `None`
+    /// when either component is out of range.
+    pub fn from_bytes(bytes: &[u8; 16]) -> Option<Self> {
+        let r = u64::from_be_bytes(bytes[..8].try_into().expect("8 bytes"));
+        let s = u64::from_be_bytes(bytes[8..].try_into().expect("8 bytes"));
+        if r >= P || s >= GROUP_ORDER {
+            return None;
+        }
+        Some(Signature { r, s })
+    }
+}
+
+/// Multiplication modulo the Mersenne prime `P`, exploiting
+/// `2^61 ≡ 1 (mod p)` for a division-free reduction.
+#[inline]
+pub fn mul_mod(a: u64, b: u64, ) -> u64 {
+    debug_assert!(a < P && b < P);
+    let wide = (a as u128) * (b as u128);
+    let lo = (wide & ((1u128 << 61) - 1)) as u64;
+    let hi = (wide >> 61) as u64;
+    let mut r = lo + hi;
+    if r >= P {
+        r -= P;
+    }
+    r
+}
+
+/// Modular exponentiation `base^exp mod P` by square-and-multiply.
+pub fn pow_mod(mut base: u64, mut exp: u64) -> u64 {
+    base %= P;
+    let mut acc = 1u64;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, base);
+        }
+        base = mul_mod(base, base);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Addition modulo `GROUP_ORDER`.
+#[inline]
+fn add_mod_order(a: u64, b: u64) -> u64 {
+    let sum = (a as u128) + (b as u128);
+    (sum % GROUP_ORDER as u128) as u64
+}
+
+/// Multiplication modulo `GROUP_ORDER`.
+#[inline]
+fn mul_mod_order(a: u64, b: u64) -> u64 {
+    ((a as u128 * b as u128) % GROUP_ORDER as u128) as u64
+}
+
+/// Derives the hardened challenge `e` for message `msg` under commitment `r`
+/// and public key `y`.
+fn challenge(r: u64, msg: &[u8], y: u64, params: &SigParams) -> u64 {
+    let mut h = Sha256::new();
+    h.update(&r.to_be_bytes());
+    h.update(msg);
+    h.update(&y.to_be_bytes());
+    let mut digest = h.finalize();
+    for _ in 1..params.cost_factor.max(1) {
+        digest = crate::sha256(&digest);
+    }
+    let e = u64::from_be_bytes(digest[..8].try_into().expect("8 bytes"));
+    e % GROUP_ORDER
+}
+
+/// Deterministic nonce derivation (RFC-6979 style): `k = HMAC(x, msg)`,
+/// re-derived with a counter until nonzero.
+fn derive_nonce(secret: u64, msg: &[u8]) -> u64 {
+    let key = secret.to_be_bytes();
+    let mut counter: u32 = 0;
+    loop {
+        let mut input = Vec::with_capacity(msg.len() + 4);
+        input.extend_from_slice(msg);
+        input.extend_from_slice(&counter.to_be_bytes());
+        let mac = hmac_sha256(&key, &input);
+        let k = u64::from_be_bytes(mac[..8].try_into().expect("8 bytes")) % GROUP_ORDER;
+        if k != 0 {
+            return k;
+        }
+        counter += 1;
+    }
+}
+
+/// Signs `msg` with secret scalar `x` (must be in `[1, GROUP_ORDER)`).
+pub fn sign(x: u64, msg: &[u8], params: &SigParams) -> Signature {
+    debug_assert!(x >= 1 && x < GROUP_ORDER);
+    let k = derive_nonce(x, msg);
+    let r = pow_mod(G, k);
+    let y = pow_mod(G, x);
+    let e = challenge(r, msg, y, params);
+    let s = add_mod_order(k, mul_mod_order(e, x));
+    Signature { r, s }
+}
+
+/// Verifies a signature over `msg` against public key `y`.
+pub fn verify(y: u64, msg: &[u8], sig: &Signature, params: &SigParams) -> bool {
+    if sig.r == 0 || sig.r >= P || y == 0 || y >= P {
+        return false;
+    }
+    let e = challenge(sig.r, msg, y, params);
+    let lhs = pow_mod(G, sig.s);
+    let rhs = mul_mod(sig.r, pow_mod(y, e));
+    lhs == rhs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mul_mod_small_values() {
+        assert_eq!(mul_mod(3, 4), 12);
+        assert_eq!(mul_mod(P - 1, 1), P - 1);
+        // (p-1)^2 = p^2 - 2p + 1 ≡ 1 (mod p)
+        assert_eq!(mul_mod(P - 1, P - 1), 1);
+    }
+
+    #[test]
+    fn pow_mod_fermat() {
+        // a^(p-1) ≡ 1 for a not divisible by p.
+        for a in [2u64, 3, 7, 12345, P - 2] {
+            assert_eq!(pow_mod(a, P - 1), 1, "a={a}");
+        }
+    }
+
+    #[test]
+    fn pow_mod_edge_cases() {
+        assert_eq!(pow_mod(5, 0), 1);
+        assert_eq!(pow_mod(0, 5), 0);
+        assert_eq!(pow_mod(1, u64::MAX), 1);
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let params = SigParams::fast();
+        let x = 0x1234_5678_9abc_u64;
+        let y = pow_mod(G, x);
+        let sig = sign(x, b"hello", &params);
+        assert!(verify(y, b"hello", &sig, &params));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_message() {
+        let params = SigParams::fast();
+        let x = 42u64;
+        let y = pow_mod(G, x);
+        let sig = sign(x, b"msg A", &params);
+        assert!(!verify(y, b"msg B", &sig, &params));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_key() {
+        let params = SigParams::fast();
+        let sig = sign(42, b"msg", &params);
+        let wrong_y = pow_mod(G, 43);
+        assert!(!verify(wrong_y, b"msg", &sig, &params));
+    }
+
+    #[test]
+    fn verify_rejects_tampered_signature() {
+        let params = SigParams::fast();
+        let x = 777u64;
+        let y = pow_mod(G, x);
+        let sig = sign(x, b"msg", &params);
+        let bad_r = Signature { r: sig.r ^ 1, ..sig };
+        let bad_s = Signature { s: (sig.s + 1) % GROUP_ORDER, ..sig };
+        assert!(!verify(y, b"msg", &bad_r, &params));
+        assert!(!verify(y, b"msg", &bad_s, &params));
+    }
+
+    #[test]
+    fn cost_factor_changes_challenge_but_roundtrips() {
+        let x = 99u64;
+        let y = pow_mod(G, x);
+        let p1 = SigParams::with_cost(1);
+        let p5 = SigParams::with_cost(5);
+        let s1 = sign(x, b"m", &p1);
+        let s5 = sign(x, b"m", &p5);
+        assert_ne!(s1.s, s5.s, "different hardening must change the response");
+        assert!(verify(y, b"m", &s1, &p1));
+        assert!(verify(y, b"m", &s5, &p5));
+        // Mixing parameter sets must fail.
+        assert!(!verify(y, b"m", &s1, &p5));
+    }
+
+    #[test]
+    fn signature_bytes_roundtrip() {
+        let sig = sign(1234, b"bytes", &SigParams::fast());
+        let bytes = sig.to_bytes();
+        assert_eq!(Signature::from_bytes(&bytes), Some(sig));
+    }
+
+    #[test]
+    fn signature_from_bytes_rejects_out_of_range() {
+        let mut bytes = [0xffu8; 16];
+        assert_eq!(Signature::from_bytes(&bytes), None);
+        bytes = sign(5, b"x", &SigParams::fast()).to_bytes();
+        assert!(Signature::from_bytes(&bytes).is_some());
+    }
+
+    #[test]
+    fn deterministic_signing() {
+        let params = SigParams::fast();
+        assert_eq!(sign(7, b"same", &params), sign(7, b"same", &params));
+        assert_ne!(sign(7, b"same", &params), sign(7, b"diff", &params));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_sign_verify(x in 1u64..GROUP_ORDER, msg in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let params = SigParams::fast();
+            let y = pow_mod(G, x);
+            let sig = sign(x, &msg, &params);
+            prop_assert!(verify(y, &msg, &sig, &params));
+        }
+
+        #[test]
+        fn prop_mul_mod_matches_naive(a in 0u64..P, b in 0u64..P) {
+            let expect = ((a as u128 * b as u128) % P as u128) as u64;
+            prop_assert_eq!(mul_mod(a, b), expect);
+        }
+
+        #[test]
+        fn prop_wrong_message_rejected(x in 1u64..GROUP_ORDER, msg in proptest::collection::vec(any::<u8>(), 1..32)) {
+            let params = SigParams::fast();
+            let y = pow_mod(G, x);
+            let sig = sign(x, &msg, &params);
+            let mut tampered = msg.clone();
+            tampered[0] ^= 0xff;
+            prop_assert!(!verify(y, &tampered, &sig, &params));
+        }
+    }
+}

@@ -1,0 +1,567 @@
+//! A Proof-of-Work (Ethereum-style) blockchain simulator.
+//!
+//! Reproduces the performance-relevant mechanics of a pre-merge Ethereum
+//! network, which is the low-throughput / high-latency extreme of the
+//! paper's Fig. 6:
+//!
+//! * **PoW mining** — blocks are produced at exponentially distributed
+//!   intervals (mean [`EthereumConfig::block_interval`], the classic 15 s);
+//!   a configurable amount of real hash work is performed per block so CPU
+//!   monitoring sees the miner burn cycles.
+//! * **Gas-limited blocks** — each block packs transactions until
+//!   [`EthereumConfig::block_gas_limit`] is reached, capping throughput at
+//!   roughly `gas_limit / tx_gas / interval` TPS (~19 TPS with defaults,
+//!   matching the paper's 18.6).
+//! * **Order-execute** — transactions execute in block order against the
+//!   world state; failed executions are included with `valid = false`
+//!   (they still consumed gas).
+//! * **Block gossip** — every sealed block is broadcast to the other
+//!   worker nodes over the simulated network.
+//!
+//! ```no_run
+//! use hammer_chain::client::BlockchainClient;
+//! use hammer_ethereum::{EthereumConfig, EthereumSim};
+//! use hammer_net::{LinkConfig, SimClock, SimNetwork};
+//!
+//! let clock = SimClock::with_speedup(100.0);
+//! let net = SimNetwork::new(clock.clone(), LinkConfig::cloud_100mbps());
+//! let chain = EthereumSim::start(EthereumConfig::default(), clock, net);
+//! // ... submit transactions through the BlockchainClient trait ...
+//! chain.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::Receiver;
+use hammer_chain::client::{Architecture, BlockchainClient, ChainError, CommitEvent};
+use hammer_chain::events::CommitBus;
+use hammer_chain::ledger::Ledger;
+use hammer_chain::mempool::Mempool;
+use hammer_chain::state::VersionedState;
+use hammer_chain::types::{Block, SignedTransaction, TxId};
+use hammer_crypto::sig::SigParams;
+use hammer_net::{SimClock, SimNetwork};
+use parking_lot::{Mutex, RwLock};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the simulated PoW chain.
+#[derive(Clone, Debug)]
+pub struct EthereumConfig {
+    /// Number of worker nodes (the paper deploys 5).
+    pub nodes: usize,
+    /// Mean block interval in simulated time (PoW => exponential).
+    pub block_interval: Duration,
+    /// Gas limit per block.
+    pub block_gas_limit: u64,
+    /// Gas consumed per transaction (21 000 for a simple transfer).
+    pub tx_gas: u64,
+    /// Mempool capacity (pending transaction pool).
+    pub mempool_capacity: usize,
+    /// Whether nodes verify client signatures at inclusion time.
+    pub verify_signatures: bool,
+    /// Signature scheme parameters (must match the submitting clients).
+    pub sig_params: SigParams,
+    /// SHA-256 evaluations of real hash work per sealed block (models the
+    /// miner's CPU burn; keep small under high speed-ups).
+    pub pow_hashes_per_block: u32,
+    /// Simulated EVM execution cost per transaction.
+    pub exec_cost_per_tx: Duration,
+    /// RNG seed for block-interval sampling and proposer choice.
+    pub seed: u64,
+}
+
+impl Default for EthereumConfig {
+    fn default() -> Self {
+        EthereumConfig {
+            nodes: 5,
+            block_interval: Duration::from_secs(15),
+            block_gas_limit: 6_000_000,
+            tx_gas: 21_000,
+            mempool_capacity: 20_000,
+            verify_signatures: true,
+            sig_params: SigParams::fast(),
+            pow_hashes_per_block: 5_000,
+            exec_cost_per_tx: Duration::from_micros(300),
+            seed: 7,
+        }
+    }
+}
+
+impl EthereumConfig {
+    /// Maximum transactions per block under the gas limit.
+    pub fn max_txs_per_block(&self) -> usize {
+        (self.block_gas_limit / self.tx_gas.max(1)) as usize
+    }
+}
+
+/// Counters describing chain activity.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EthereumStats {
+    /// Blocks sealed.
+    pub blocks: u64,
+    /// Transactions committed successfully.
+    pub committed: u64,
+    /// Transactions included but failed execution.
+    pub failed: u64,
+    /// Transactions dropped for bad signatures.
+    pub bad_sig: u64,
+}
+
+struct Inner {
+    config: EthereumConfig,
+    clock: SimClock,
+    net: SimNetwork,
+    mempool: Mempool,
+    ledger: RwLock<Ledger>,
+    state: Mutex<VersionedState>,
+    bus: CommitBus,
+    shutdown: AtomicBool,
+    blocks: AtomicU64,
+    committed: AtomicU64,
+    failed: AtomicU64,
+    bad_sig: AtomicU64,
+}
+
+/// Handle to a running PoW chain simulation.
+pub struct EthereumSim {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for EthereumSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EthereumSim")
+            .field("height", &self.inner.ledger.read().height())
+            .field("pending", &self.inner.mempool.len())
+            .finish()
+    }
+}
+
+impl EthereumSim {
+    /// Endpoint name of worker `i`.
+    fn node_name(i: usize) -> String {
+        format!("eth-node-{i}")
+    }
+
+    /// Starts the chain: registers node endpoints, seeds the world state
+    /// hook, and spawns the miner thread.
+    pub fn start(config: EthereumConfig, clock: SimClock, net: SimNetwork) -> Arc<Self> {
+        assert!(config.nodes >= 1, "need at least one node");
+        let inner = Arc::new(Inner {
+            mempool: Mempool::new(config.mempool_capacity),
+            config,
+            clock,
+            net,
+            ledger: RwLock::new(Ledger::new()),
+            state: Mutex::new(VersionedState::new()),
+            bus: CommitBus::new(),
+            shutdown: AtomicBool::new(false),
+            blocks: AtomicU64::new(0),
+            committed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            bad_sig: AtomicU64::new(0),
+        });
+
+        // Register node endpoints and spawn gossip sinks for the non-mining
+        // workers (they consume block broadcasts, modelling replication
+        // traffic).
+        for i in 0..inner.config.nodes {
+            let endpoint = inner.net.register(&Self::node_name(i));
+            let flag = Arc::downgrade(&inner);
+            std::thread::Builder::new()
+                .name(format!("eth-gossip-{i}"))
+                .spawn(move || {
+                    loop {
+                        match endpoint.recv_timeout(Duration::from_millis(100)) {
+                            Ok(_block_bytes) => { /* replicated */ }
+                            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                                match flag.upgrade() {
+                                    Some(inner) => {
+                                        if inner.shutdown.load(Ordering::Relaxed) {
+                                            return;
+                                        }
+                                    }
+                                    None => return,
+                                }
+                            }
+                            Err(_) => return,
+                        }
+                    }
+                })
+                .expect("spawn gossip thread");
+        }
+
+        let miner_inner = Arc::clone(&inner);
+        std::thread::Builder::new()
+            .name("eth-miner".to_owned())
+            .spawn(move || miner_loop(miner_inner))
+            .expect("spawn miner thread");
+
+        Arc::new(EthereumSim { inner })
+    }
+
+    /// Directly seeds an account into the world state (test fixtures /
+    /// SmallBank account pre-population, which real deployments do with a
+    /// genesis allocation).
+    pub fn seed_account(&self, account: hammer_chain::types::Address, checking: u64, savings: u64) {
+        self.inner.state.lock().seed_account(account, checking, savings);
+    }
+
+    /// Snapshot of activity counters.
+    pub fn stats(&self) -> EthereumStats {
+        EthereumStats {
+            blocks: self.inner.blocks.load(Ordering::Relaxed),
+            committed: self.inner.committed.load(Ordering::Relaxed),
+            failed: self.inner.failed.load(Ordering::Relaxed),
+            bad_sig: self.inner.bad_sig.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reads an account's state.
+    pub fn account(
+        &self,
+        account: hammer_chain::types::Address,
+    ) -> Option<hammer_chain::state::AccountState> {
+        self.inner.state.lock().get(account)
+    }
+}
+
+fn miner_loop(inner: Arc<Inner>) {
+    let mut rng = StdRng::seed_from_u64(inner.config.seed);
+    while !inner.shutdown.load(Ordering::Relaxed) {
+        // Exponential inter-block time (PoW is memoryless).
+        let mean = inner.config.block_interval.as_secs_f64();
+        let interval = Duration::from_secs_f64(sample_exponential(&mut rng, mean));
+        inner.clock.sleep(interval);
+        if inner.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+
+        // Real hash work: the PoW burn.
+        let mut pow_input = [0u8; 32];
+        rng.fill(&mut pow_input);
+        let mut digest = pow_input;
+        for _ in 0..inner.config.pow_hashes_per_block {
+            digest = hammer_crypto::sha256(&digest);
+        }
+
+        // Pack the block under the gas limit.
+        let txs = inner.mempool.drain(inner.config.max_txs_per_block());
+        // Model aggregate EVM execution time.
+        if !txs.is_empty() {
+            inner
+                .clock
+                .sleep(inner.config.exec_cost_per_tx * txs.len() as u32);
+        }
+
+        let mut tx_ids = Vec::with_capacity(txs.len());
+        let mut valid = Vec::with_capacity(txs.len());
+        {
+            let mut state = inner.state.lock();
+            for tx in &txs {
+                if inner.config.verify_signatures && !tx.verify(&inner.config.sig_params) {
+                    inner.bad_sig.fetch_add(1, Ordering::Relaxed);
+                    continue; // not included at all
+                }
+                let ok = state.apply(&tx.tx.op).is_ok();
+                tx_ids.push(tx.id);
+                valid.push(ok);
+                if ok {
+                    inner.committed.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    inner.failed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+
+        let timestamp = inner.clock.now();
+        let proposer_idx = rng.gen_range(0..inner.config.nodes);
+        let proposer = EthereumSim::node_name(proposer_idx);
+        let block = {
+            let ledger = inner.ledger.read();
+            Block::new(
+                ledger.height() + 1,
+                ledger.tip_hash(),
+                timestamp,
+                &proposer,
+                0,
+                tx_ids,
+                valid,
+            )
+        };
+
+        // Gossip the sealed block to the other workers (approximate the
+        // wire size: ~110 bytes per tx plus header).
+        let approx_size = 200 + block.len() * 110;
+        let payload = vec![0u8; approx_size.min(1 << 20)];
+        for i in 0..inner.config.nodes {
+            if i != proposer_idx {
+                let _ = inner
+                    .net
+                    .send(&proposer, &EthereumSim::node_name(i), payload.clone());
+            }
+        }
+
+        let events: Vec<CommitEvent> = block
+            .entries()
+            .map(|(tx_id, success)| CommitEvent {
+                tx_id,
+                success,
+                block_height: block.header.height,
+                shard: 0,
+                committed_at: timestamp,
+            })
+            .collect();
+
+        inner
+            .ledger
+            .write()
+            .append(block)
+            .expect("miner builds sequential blocks");
+        inner.blocks.fetch_add(1, Ordering::Relaxed);
+        inner.bus.publish_all(&events);
+    }
+}
+
+/// Samples an exponential distribution with the given mean.
+fn sample_exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -mean * u.ln()
+}
+
+impl BlockchainClient for EthereumSim {
+    fn chain_name(&self) -> &str {
+        "ethereum-sim"
+    }
+
+    fn architecture(&self) -> Architecture {
+        Architecture::NonSharded
+    }
+
+    fn submit(&self, tx: SignedTransaction) -> Result<TxId, ChainError> {
+        if self.inner.shutdown.load(Ordering::Relaxed) {
+            return Err(ChainError::Shutdown);
+        }
+        let id = tx.id;
+        self.inner.mempool.push(tx).map_err(ChainError::Rejected)?;
+        Ok(id)
+    }
+
+    fn latest_height(&self, shard: u32) -> Result<u64, ChainError> {
+        if shard != 0 {
+            return Err(ChainError::UnknownShard(shard));
+        }
+        Ok(self.inner.ledger.read().height())
+    }
+
+    fn block_at(&self, shard: u32, height: u64) -> Result<Option<Block>, ChainError> {
+        if shard != 0 {
+            return Err(ChainError::UnknownShard(shard));
+        }
+        Ok(self.inner.ledger.read().block_at(height).cloned())
+    }
+
+    fn pending_txs(&self) -> Result<usize, ChainError> {
+        Ok(self.inner.mempool.len())
+    }
+
+    fn subscribe_commits(&self) -> Receiver<CommitEvent> {
+        self.inner.bus.subscribe()
+    }
+
+    fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::Relaxed);
+    }
+}
+
+impl Drop for EthereumSim {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hammer_chain::smallbank::Op;
+    use hammer_chain::types::{Address, Transaction};
+    use hammer_crypto::Keypair;
+    use hammer_net::LinkConfig;
+
+    fn fast_chain(config: EthereumConfig) -> (Arc<EthereumSim>, SimClock) {
+        let clock = SimClock::with_speedup(2000.0);
+        let net = SimNetwork::new(clock.clone(), LinkConfig::cloud_100mbps());
+        (EthereumSim::start(config, clock.clone(), net), clock)
+    }
+
+    fn signed(nonce: u64, op: Op) -> SignedTransaction {
+        Transaction {
+            client_id: 0,
+            server_id: 0,
+            nonce,
+            op,
+            chain_name: "ethereum-sim".to_owned(),
+            contract_name: "smallbank".to_owned(),
+        }
+        .sign(&Keypair::from_seed(1), &SigParams::fast())
+    }
+
+    fn wait_for_height(chain: &EthereumSim, h: u64, wall_ms: u64) -> bool {
+        let deadline = std::time::Instant::now() + Duration::from_millis(wall_ms);
+        while std::time::Instant::now() < deadline {
+            if chain.latest_height(0).unwrap() >= h {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        false
+    }
+
+    #[test]
+    fn mines_blocks_and_commits_txs() {
+        let (chain, _clock) = fast_chain(EthereumConfig {
+            block_interval: Duration::from_secs(2),
+            ..EthereumConfig::default()
+        });
+        chain.seed_account(Address::from_name("a"), 1000, 0);
+        let id = chain
+            .submit(signed(1, Op::DepositChecking { account: Address::from_name("a"), amount: 5 }))
+            .unwrap();
+        assert!(wait_for_height(&chain, 1, 5000), "no block mined");
+        // The tx should land in some block.
+        let mut found = false;
+        for h in 1..=chain.latest_height(0).unwrap() {
+            if let Some(b) = chain.block_at(0, h).unwrap() {
+                if b.tx_ids.contains(&id) {
+                    found = true;
+                    assert!(b.valid[b.tx_ids.iter().position(|t| *t == id).unwrap()]);
+                }
+            }
+        }
+        assert!(found, "tx never included");
+        assert_eq!(chain.account(Address::from_name("a")).unwrap().checking, 1005);
+        chain.shutdown();
+    }
+
+    #[test]
+    fn failed_execution_included_invalid() {
+        let (chain, _clock) = fast_chain(EthereumConfig {
+            block_interval: Duration::from_secs(1),
+            ..EthereumConfig::default()
+        });
+        // Withdraw from a non-existent account fails execution.
+        let id = chain
+            .submit(signed(1, Op::WriteCheck { account: Address::from_name("ghost"), amount: 5 }))
+            .unwrap();
+        assert!(wait_for_height(&chain, 1, 5000));
+        std::thread::sleep(Duration::from_millis(50));
+        let mut status = None;
+        for h in 1..=chain.latest_height(0).unwrap() {
+            if let Some(b) = chain.block_at(0, h).unwrap() {
+                if let Some(pos) = b.tx_ids.iter().position(|t| *t == id) {
+                    status = Some(b.valid[pos]);
+                }
+            }
+        }
+        assert_eq!(status, Some(false));
+        assert_eq!(chain.stats().failed, 1);
+        chain.shutdown();
+    }
+
+    #[test]
+    fn commit_events_published() {
+        let (chain, _clock) = fast_chain(EthereumConfig {
+            block_interval: Duration::from_secs(1),
+            ..EthereumConfig::default()
+        });
+        let rx = chain.subscribe_commits();
+        chain.seed_account(Address::from_name("a"), 100, 0);
+        let id = chain
+            .submit(signed(1, Op::Balance { account: Address::from_name("a") }))
+            .unwrap();
+        let event = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(event.tx_id, id);
+        assert!(event.success);
+        chain.shutdown();
+    }
+
+    #[test]
+    fn gas_limit_caps_block_size() {
+        let (chain, _clock) = fast_chain(EthereumConfig {
+            block_interval: Duration::from_secs(2),
+            block_gas_limit: 210_000, // 10 txs max
+            ..EthereumConfig::default()
+        });
+        chain.seed_account(Address::from_name("a"), 1_000_000, 0);
+        for i in 0..25 {
+            chain
+                .submit(signed(i, Op::DepositChecking { account: Address::from_name("a"), amount: 1 }))
+                .unwrap();
+        }
+        assert!(wait_for_height(&chain, 1, 5000));
+        for h in 1..=chain.latest_height(0).unwrap() {
+            let b = chain.block_at(0, h).unwrap().unwrap();
+            assert!(b.len() <= 10, "block has {} txs", b.len());
+        }
+        chain.shutdown();
+    }
+
+    #[test]
+    fn rejects_wrong_shard() {
+        let (chain, _clock) = fast_chain(EthereumConfig::default());
+        assert!(matches!(chain.latest_height(1), Err(ChainError::UnknownShard(1))));
+        assert!(matches!(chain.block_at(2, 1), Err(ChainError::UnknownShard(2))));
+        chain.shutdown();
+    }
+
+    #[test]
+    fn submit_after_shutdown_fails() {
+        let (chain, _clock) = fast_chain(EthereumConfig::default());
+        chain.shutdown();
+        let err = chain
+            .submit(signed(1, Op::KvGet { key: 1 }))
+            .unwrap_err();
+        assert_eq!(err, ChainError::Shutdown);
+    }
+
+    #[test]
+    fn duplicate_submission_rejected() {
+        let (chain, _clock) = fast_chain(EthereumConfig {
+            block_interval: Duration::from_secs(600), // effectively never mine
+            ..EthereumConfig::default()
+        });
+        let tx = signed(1, Op::KvGet { key: 1 });
+        chain.submit(tx.clone()).unwrap();
+        assert!(matches!(chain.submit(tx), Err(ChainError::Rejected(_))));
+        chain.shutdown();
+    }
+
+    #[test]
+    fn ledger_chain_verifies() {
+        let (chain, _clock) = fast_chain(EthereumConfig {
+            block_interval: Duration::from_millis(500),
+            ..EthereumConfig::default()
+        });
+        chain.seed_account(Address::from_name("a"), 1000, 0);
+        for i in 0..10 {
+            let _ = chain.submit(signed(i, Op::DepositChecking { account: Address::from_name("a"), amount: 1 }));
+        }
+        assert!(wait_for_height(&chain, 3, 8000));
+        chain.shutdown();
+        chain.inner.ledger.read().verify_chain().unwrap();
+    }
+
+    #[test]
+    fn exponential_sampler_mean() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| sample_exponential(&mut rng, 3.0)).sum();
+        let mean = total / n as f64;
+        assert!((mean - 3.0).abs() < 0.15, "mean = {mean}");
+    }
+}

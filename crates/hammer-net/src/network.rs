@@ -1,0 +1,575 @@
+//! The simulated message bus connecting named endpoints.
+//!
+//! Messages sent through [`SimNetwork::send`] are delivered to the
+//! destination endpoint's channel after the link's sampled delay (scaled by
+//! the shared [`SimClock`]), unless the link drops them or a partition
+//! separates the two endpoints. A background scheduler thread owns a
+//! min-heap of pending deliveries.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
+use parking_lot::{Condvar, Mutex};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::clock::SimClock;
+use crate::link::LinkConfig;
+
+/// A message in flight or delivered.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Message {
+    /// Sender endpoint name.
+    pub from: String,
+    /// Destination endpoint name.
+    pub to: String,
+    /// Opaque payload bytes.
+    pub payload: Vec<u8>,
+    /// Simulated send timestamp (from the network's clock).
+    pub sent_at: Duration,
+}
+
+/// Errors from network operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetError {
+    /// The named endpoint was never registered.
+    UnknownEndpoint(String),
+    /// An endpoint with this name already exists.
+    DuplicateEndpoint(String),
+    /// The network scheduler has shut down.
+    Shutdown,
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::UnknownEndpoint(name) => write!(f, "unknown endpoint: {name}"),
+            NetError::DuplicateEndpoint(name) => write!(f, "duplicate endpoint: {name}"),
+            NetError::Shutdown => write!(f, "network scheduler has shut down"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// The receiving side of a registered endpoint.
+#[derive(Debug)]
+pub struct Endpoint {
+    name: String,
+    rx: Receiver<Message>,
+}
+
+impl Endpoint {
+    /// The endpoint's registered name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Blocks until a message arrives or all senders disconnect.
+    pub fn recv(&self) -> Option<Message> {
+        self.rx.recv().ok()
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Message> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Blocking receive with a wall-clock timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Message, RecvTimeoutError> {
+        self.rx.recv_timeout(timeout)
+    }
+
+    /// Number of messages waiting in the inbox.
+    pub fn pending(&self) -> usize {
+        self.rx.len()
+    }
+}
+
+struct Pending {
+    deliver_at: Instant,
+    seq: u64,
+    msg: Message,
+}
+
+impl PartialEq for Pending {
+    fn eq(&self, other: &Self) -> bool {
+        self.deliver_at == other.deliver_at && self.seq == other.seq
+    }
+}
+impl Eq for Pending {}
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deliver_at, self.seq).cmp(&(other.deliver_at, other.seq))
+    }
+}
+
+#[derive(Default)]
+struct SchedulerState {
+    heap: BinaryHeap<Reverse<Pending>>,
+    shutdown: bool,
+}
+
+struct Shared {
+    clock: SimClock,
+    default_link: LinkConfig,
+    endpoints: Mutex<HashMap<String, Sender<Message>>>,
+    links: Mutex<HashMap<(String, String), LinkConfig>>,
+    /// Partition group of each endpoint; endpoints in different groups
+    /// cannot communicate. Empty map means no partition.
+    partition: Mutex<HashMap<String, usize>>,
+    sched: Mutex<SchedulerState>,
+    sched_cv: Condvar,
+    rng: Mutex<StdRng>,
+    seq: Mutex<u64>,
+    stats: Mutex<NetStats>,
+}
+
+/// Counters describing everything the network has done so far.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages accepted by `send`.
+    pub sent: u64,
+    /// Messages delivered to an endpoint inbox.
+    pub delivered: u64,
+    /// Messages dropped by link loss.
+    pub lost: u64,
+    /// Messages dropped because a partition separated the pair.
+    pub partitioned: u64,
+    /// Total payload bytes accepted.
+    pub bytes_sent: u64,
+}
+
+/// The simulated network. Cheap to clone; all clones share state.
+#[derive(Clone)]
+pub struct SimNetwork {
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for SimNetwork {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimNetwork")
+            .field("endpoints", &self.shared.endpoints.lock().len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl SimNetwork {
+    /// Creates a network with the given clock and default link quality,
+    /// spawning the delivery scheduler thread.
+    pub fn new(clock: SimClock, default_link: LinkConfig) -> Self {
+        default_link
+            .validate()
+            .expect("default link configuration must be valid");
+        let shared = Arc::new(Shared {
+            clock,
+            default_link,
+            endpoints: Mutex::new(HashMap::new()),
+            links: Mutex::new(HashMap::new()),
+            partition: Mutex::new(HashMap::new()),
+            sched: Mutex::new(SchedulerState::default()),
+            sched_cv: Condvar::new(),
+            rng: Mutex::new(StdRng::seed_from_u64(0xbeef_cafe)),
+            seq: Mutex::new(0),
+            stats: Mutex::new(NetStats::default()),
+        });
+        let weak = Arc::downgrade(&shared);
+        std::thread::Builder::new()
+            .name("sim-net-scheduler".to_owned())
+            .spawn(move || scheduler_loop(weak))
+            .expect("failed to spawn network scheduler");
+        SimNetwork { shared }
+    }
+
+    /// Creates an ideal network on a realtime clock — handy in tests.
+    pub fn ideal() -> Self {
+        Self::new(SimClock::realtime(), LinkConfig::ideal())
+    }
+
+    /// Re-seeds the internal RNG for reproducible delay/loss sampling.
+    pub fn reseed(&self, seed: u64) {
+        *self.shared.rng.lock() = StdRng::seed_from_u64(seed);
+    }
+
+    /// Registers a named endpoint and returns its receiving half.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the name is already taken; endpoint names identify nodes
+    /// and duplicates are a programming error.
+    pub fn register(&self, name: &str) -> Endpoint {
+        let (tx, rx) = channel::unbounded();
+        let mut eps = self.shared.endpoints.lock();
+        if eps.contains_key(name) {
+            panic!("duplicate endpoint: {name}");
+        }
+        eps.insert(name.to_owned(), tx);
+        Endpoint {
+            name: name.to_owned(),
+            rx,
+        }
+    }
+
+    /// Removes an endpoint; later sends to it fail with `UnknownEndpoint`.
+    pub fn deregister(&self, name: &str) {
+        self.shared.endpoints.lock().remove(name);
+    }
+
+    /// Overrides link quality for the directed pair `(from, to)`.
+    pub fn set_link(&self, from: &str, to: &str, cfg: LinkConfig) {
+        cfg.validate().expect("link configuration must be valid");
+        self.shared
+            .links
+            .lock()
+            .insert((from.to_owned(), to.to_owned()), cfg);
+    }
+
+    /// Imposes a partition: endpoints listed in different groups cannot
+    /// exchange messages. Unlisted endpoints can talk to everyone.
+    pub fn partition(&self, groups: &[&[&str]]) {
+        let mut map = self.shared.partition.lock();
+        map.clear();
+        for (gid, group) in groups.iter().enumerate() {
+            for name in *group {
+                map.insert((*name).to_owned(), gid);
+            }
+        }
+    }
+
+    /// Removes any partition.
+    pub fn heal(&self) {
+        self.shared.partition.lock().clear();
+    }
+
+    /// Sends `payload` from `from` to `to`, scheduling delivery after the
+    /// link's sampled delay. Returns immediately.
+    pub fn send(&self, from: &str, to: &str, payload: Vec<u8>) -> Result<(), NetError> {
+        if !self.shared.endpoints.lock().contains_key(to) {
+            return Err(NetError::UnknownEndpoint(to.to_owned()));
+        }
+        {
+            let mut stats = self.shared.stats.lock();
+            stats.sent += 1;
+            stats.bytes_sent += payload.len() as u64;
+        }
+        // Partition check.
+        {
+            let part = self.shared.partition.lock();
+            if let (Some(a), Some(b)) = (part.get(from), part.get(to)) {
+                if a != b {
+                    self.shared.stats.lock().partitioned += 1;
+                    return Ok(()); // silently dropped, like a real partition
+                }
+            }
+        }
+        let link = self
+            .shared
+            .links
+            .lock()
+            .get(&(from.to_owned(), to.to_owned()))
+            .copied()
+            .unwrap_or(self.shared.default_link);
+        let (lost, sim_delay) = {
+            let mut rng = self.shared.rng.lock();
+            (
+                link.sample_loss(&mut *rng),
+                link.sample_delay(payload.len(), &mut *rng),
+            )
+        };
+        if lost {
+            self.shared.stats.lock().lost += 1;
+            return Ok(());
+        }
+        let wall_delay = self.shared.clock.to_wall(sim_delay);
+        let msg = Message {
+            from: from.to_owned(),
+            to: to.to_owned(),
+            payload,
+            sent_at: self.shared.clock.now(),
+        };
+        let seq = {
+            let mut s = self.shared.seq.lock();
+            *s += 1;
+            *s
+        };
+        let mut sched = self.shared.sched.lock();
+        if sched.shutdown {
+            return Err(NetError::Shutdown);
+        }
+        sched.heap.push(Reverse(Pending {
+            deliver_at: Instant::now() + wall_delay,
+            seq,
+            msg,
+        }));
+        drop(sched);
+        self.shared.sched_cv.notify_one();
+        Ok(())
+    }
+
+    /// Broadcasts `payload` from `from` to every other registered endpoint.
+    pub fn broadcast(&self, from: &str, payload: &[u8]) -> Result<usize, NetError> {
+        let targets: Vec<String> = {
+            let eps = self.shared.endpoints.lock();
+            eps.keys().filter(|k| k.as_str() != from).cloned().collect()
+        };
+        let mut count = 0;
+        for t in targets {
+            self.send(from, &t, payload.to_vec())?;
+            count += 1;
+        }
+        Ok(count)
+    }
+
+    /// A snapshot of the network counters.
+    pub fn stats(&self) -> NetStats {
+        *self.shared.stats.lock()
+    }
+
+    /// The clock this network runs on.
+    pub fn clock(&self) -> &SimClock {
+        &self.shared.clock
+    }
+
+    /// Names of all registered endpoints, sorted.
+    pub fn endpoint_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.shared.endpoints.lock().keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+fn scheduler_loop(weak: std::sync::Weak<Shared>) {
+    loop {
+        let shared = match weak.upgrade() {
+            Some(s) => s,
+            None => return, // network dropped entirely
+        };
+        // Hold the arc only briefly per iteration so drop can proceed.
+        let mut sched = shared.sched.lock();
+        let now = Instant::now();
+        // Deliver everything due.
+        let mut due = Vec::new();
+        while let Some(Reverse(p)) = sched.heap.peek() {
+            if p.deliver_at <= now {
+                let Reverse(p) = sched.heap.pop().expect("peeked");
+                due.push(p);
+            } else {
+                break;
+            }
+        }
+        let next_deadline = sched.heap.peek().map(|Reverse(p)| p.deliver_at);
+        if due.is_empty() {
+            match next_deadline {
+                Some(deadline) => {
+                    let wait = deadline.saturating_duration_since(Instant::now());
+                    shared
+                        .sched_cv
+                        .wait_for(&mut sched, wait.min(Duration::from_millis(50)));
+                }
+                None => {
+                    // Nothing pending: wait briefly, then re-check liveness.
+                    shared
+                        .sched_cv
+                        .wait_for(&mut sched, Duration::from_millis(50));
+                }
+            }
+            drop(sched);
+            drop(shared);
+            continue;
+        }
+        drop(sched);
+        for p in due {
+            let tx = shared.endpoints.lock().get(&p.msg.to).cloned();
+            if let Some(tx) = tx {
+                if tx.send(p.msg).is_ok() {
+                    shared.stats.lock().delivered += 1;
+                }
+            }
+        }
+        drop(shared);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_net() -> SimNetwork {
+        SimNetwork::new(SimClock::with_speedup(1000.0), LinkConfig::cloud_100mbps())
+    }
+
+    #[test]
+    fn delivers_message() {
+        let net = fast_net();
+        let _a = net.register("a");
+        let b = net.register("b");
+        net.send("a", "b", b"hello".to_vec()).unwrap();
+        let msg = b.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(msg.payload, b"hello");
+        assert_eq!(msg.from, "a");
+        assert_eq!(msg.to, "b");
+    }
+
+    #[test]
+    fn unknown_destination_errors() {
+        let net = fast_net();
+        let _a = net.register("a");
+        assert_eq!(
+            net.send("a", "nobody", vec![]),
+            Err(NetError::UnknownEndpoint("nobody".to_owned()))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate endpoint")]
+    fn duplicate_registration_panics() {
+        let net = fast_net();
+        let _a = net.register("a");
+        let _again = net.register("a");
+    }
+
+    #[test]
+    fn fifo_per_link_with_fixed_delay() {
+        // With zero jitter every message has the same delay, so ordering
+        // must be preserved by the seq tiebreaker.
+        let clock = SimClock::with_speedup(1000.0);
+        let cfg = LinkConfig {
+            base_latency: Duration::from_millis(5),
+            jitter: Duration::ZERO,
+            bandwidth_bps: None,
+            loss_probability: 0.0,
+        };
+        let net = SimNetwork::new(clock, cfg);
+        let _a = net.register("a");
+        let b = net.register("b");
+        for i in 0..20u8 {
+            net.send("a", "b", vec![i]).unwrap();
+        }
+        for i in 0..20u8 {
+            let msg = b.recv_timeout(Duration::from_secs(2)).unwrap();
+            assert_eq!(msg.payload, vec![i]);
+        }
+    }
+
+    #[test]
+    fn partition_blocks_and_heal_restores() {
+        let net = fast_net();
+        let _a = net.register("a");
+        let b = net.register("b");
+        net.partition(&[&["a"], &["b"]]);
+        net.send("a", "b", b"blocked".to_vec()).unwrap();
+        assert!(b.recv_timeout(Duration::from_millis(100)).is_err());
+        assert_eq!(net.stats().partitioned, 1);
+        net.heal();
+        net.send("a", "b", b"through".to_vec()).unwrap();
+        let msg = b.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(msg.payload, b"through");
+    }
+
+    #[test]
+    fn same_group_can_communicate_under_partition() {
+        let net = fast_net();
+        let _a = net.register("a");
+        let b = net.register("b");
+        let _c = net.register("c");
+        net.partition(&[&["a", "b"], &["c"]]);
+        net.send("a", "b", b"ok".to_vec()).unwrap();
+        assert!(b.recv_timeout(Duration::from_secs(2)).is_ok());
+    }
+
+    #[test]
+    fn lossy_link_drops_some() {
+        let clock = SimClock::with_speedup(1000.0);
+        let cfg = LinkConfig {
+            base_latency: Duration::ZERO,
+            jitter: Duration::ZERO,
+            bandwidth_bps: None,
+            loss_probability: 0.5,
+        };
+        let net = SimNetwork::new(clock, cfg);
+        net.reseed(123);
+        let _a = net.register("a");
+        let b = net.register("b");
+        for _ in 0..200 {
+            net.send("a", "b", vec![0]).unwrap();
+        }
+        // Wait for deliveries to settle.
+        std::thread::sleep(Duration::from_millis(200));
+        let stats = net.stats();
+        assert!(stats.lost > 50, "lost = {}", stats.lost);
+        assert!(stats.lost < 150, "lost = {}", stats.lost);
+        assert_eq!(stats.delivered as usize, b.pending());
+        assert_eq!(stats.lost + stats.delivered, 200);
+    }
+
+    #[test]
+    fn broadcast_reaches_all_others() {
+        let net = fast_net();
+        let _a = net.register("a");
+        let b = net.register("b");
+        let c = net.register("c");
+        let n = net.broadcast("a", b"hi").unwrap();
+        assert_eq!(n, 2);
+        assert!(b.recv_timeout(Duration::from_secs(2)).is_ok());
+        assert!(c.recv_timeout(Duration::from_secs(2)).is_ok());
+    }
+
+    #[test]
+    fn stats_count_bytes() {
+        let net = fast_net();
+        let _a = net.register("a");
+        let _b = net.register("b");
+        net.send("a", "b", vec![0u8; 100]).unwrap();
+        net.send("a", "b", vec![0u8; 50]).unwrap();
+        let stats = net.stats();
+        assert_eq!(stats.sent, 2);
+        assert_eq!(stats.bytes_sent, 150);
+    }
+
+    #[test]
+    fn per_link_override_applies() {
+        let clock = SimClock::with_speedup(1000.0);
+        let slow = LinkConfig {
+            base_latency: Duration::from_secs(3600), // absurdly slow default
+            jitter: Duration::ZERO,
+            bandwidth_bps: None,
+            loss_probability: 0.0,
+        };
+        let net = SimNetwork::new(clock, slow);
+        let _a = net.register("a");
+        let b = net.register("b");
+        net.set_link("a", "b", LinkConfig::ideal());
+        net.send("a", "b", b"fast".to_vec()).unwrap();
+        assert!(b.recv_timeout(Duration::from_secs(2)).is_ok());
+    }
+
+    #[test]
+    fn deregistered_endpoint_unreachable() {
+        let net = fast_net();
+        let _a = net.register("a");
+        let _b = net.register("b");
+        net.deregister("b");
+        assert!(matches!(
+            net.send("a", "b", vec![]),
+            Err(NetError::UnknownEndpoint(_))
+        ));
+    }
+
+    #[test]
+    fn endpoint_names_sorted() {
+        let net = fast_net();
+        let _c = net.register("c");
+        let _a = net.register("a");
+        let _b = net.register("b");
+        assert_eq!(net.endpoint_names(), vec!["a", "b", "c"]);
+    }
+}

@@ -1,0 +1,520 @@
+//! The layer abstraction, dense layers, activations, and sequential
+//! composition.
+
+use rand::Rng;
+
+use crate::mat::Mat;
+
+/// A trainable parameter: value plus accumulated gradient.
+#[derive(Clone, Debug)]
+pub struct Param {
+    /// The parameter value.
+    pub value: Mat,
+    /// Accumulated gradient (same shape).
+    pub grad: Mat,
+}
+
+impl Param {
+    /// A parameter with zeroed gradient.
+    pub fn new(value: Mat) -> Self {
+        let grad = Mat::zeros(value.rows(), value.cols());
+        Param { value, grad }
+    }
+
+    /// Zeroes the gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad = Mat::zeros(self.value.rows(), self.value.cols());
+    }
+}
+
+/// A differentiable layer over `T × C` sequence matrices.
+///
+/// `forward` caches whatever `backward` needs; `backward` consumes the
+/// loss gradient w.r.t. the output and returns the gradient w.r.t. the
+/// input while accumulating parameter gradients.
+pub trait Layer {
+    /// Forward pass.
+    fn forward(&mut self, x: &Mat) -> Mat;
+    /// Backward pass: `grad_out` is dL/d(output); returns dL/d(input).
+    fn backward(&mut self, grad_out: &Mat) -> Mat;
+    /// All trainable parameters.
+    fn params_mut(&mut self) -> Vec<&mut Param>;
+    /// Zeroes every parameter gradient.
+    fn zero_grads(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+    /// Total number of scalar parameters.
+    fn param_count(&mut self) -> usize {
+        self.params_mut()
+            .iter()
+            .map(|p| p.value.rows() * p.value.cols())
+            .sum()
+    }
+}
+
+/// A dense layer: `y = x W + b`, applied row-wise over the sequence.
+#[derive(Clone, Debug)]
+pub struct Linear {
+    w: Param,
+    b: Param,
+    cached_x: Option<Mat>,
+}
+
+impl Linear {
+    /// A dense layer mapping `in_dim` to `out_dim` channels.
+    pub fn new<R: Rng + ?Sized>(in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
+        Linear {
+            w: Param::new(Mat::xavier(in_dim, out_dim, rng)),
+            b: Param::new(Mat::zeros(1, out_dim)),
+            cached_x: None,
+        }
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.w.value.cols()
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, x: &Mat) -> Mat {
+        self.cached_x = Some(x.clone());
+        x.matmul(&self.w.value).add_row_broadcast(&self.b.value)
+    }
+
+    fn backward(&mut self, grad_out: &Mat) -> Mat {
+        let x = self.cached_x.as_ref().expect("forward before backward");
+        self.w.grad.add_assign(&x.transpose().matmul(grad_out));
+        self.b.grad.add_assign(&grad_out.sum_rows());
+        grad_out.matmul(&self.w.value.transpose())
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w, &mut self.b]
+    }
+}
+
+/// ReLU activation.
+#[derive(Clone, Debug, Default)]
+pub struct Relu {
+    cached_x: Option<Mat>,
+}
+
+impl Relu {
+    /// A new ReLU.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, x: &Mat) -> Mat {
+        self.cached_x = Some(x.clone());
+        x.map(|v| v.max(0.0))
+    }
+
+    fn backward(&mut self, grad_out: &Mat) -> Mat {
+        let x = self.cached_x.as_ref().expect("forward before backward");
+        let mask = x.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+        grad_out.hadamard(&mask)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+}
+
+/// Tanh activation.
+#[derive(Clone, Debug, Default)]
+pub struct Tanh {
+    cached_y: Option<Mat>,
+}
+
+impl Tanh {
+    /// A new Tanh.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Tanh {
+    fn forward(&mut self, x: &Mat) -> Mat {
+        let y = x.map(f32::tanh);
+        self.cached_y = Some(y.clone());
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Mat) -> Mat {
+        let y = self.cached_y.as_ref().expect("forward before backward");
+        let dydx = y.map(|v| 1.0 - v * v);
+        grad_out.hadamard(&dydx)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+}
+
+/// Layer normalisation over each row (time step): normalises the channel
+/// vector to zero mean / unit variance, then applies a learned affine
+/// `gamma ⊙ x̂ + beta`. Stabilises attention stacks on small data.
+#[derive(Clone, Debug)]
+pub struct LayerNorm {
+    gamma: Param,
+    beta: Param,
+    eps: f32,
+    cache: Option<LnCache>,
+}
+
+#[derive(Clone, Debug)]
+struct LnCache {
+    /// Normalised activations x̂ (pre-affine).
+    normalized: Mat,
+    /// Per-row 1/std.
+    inv_std: Vec<f32>,
+}
+
+impl LayerNorm {
+    /// A layer over `dim` channels with identity initialisation.
+    pub fn new(dim: usize) -> Self {
+        LayerNorm {
+            gamma: Param::new(Mat::from_vec(1, dim, vec![1.0; dim])),
+            beta: Param::new(Mat::zeros(1, dim)),
+            eps: 1e-5,
+            cache: None,
+        }
+    }
+}
+
+impl Layer for LayerNorm {
+    fn forward(&mut self, x: &Mat) -> Mat {
+        let dim = x.cols();
+        let mut normalized = Mat::zeros(x.rows(), dim);
+        let mut inv_std = Vec::with_capacity(x.rows());
+        for r in 0..x.rows() {
+            let row = x.row(r);
+            let mean = row.iter().sum::<f32>() / dim as f32;
+            let var = row.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / dim as f32;
+            let is = 1.0 / (var + self.eps).sqrt();
+            inv_std.push(is);
+            for c in 0..dim {
+                normalized.set(r, c, (row[c] - mean) * is);
+            }
+        }
+        let mut out = Mat::zeros(x.rows(), dim);
+        for r in 0..x.rows() {
+            for c in 0..dim {
+                out.set(
+                    r,
+                    c,
+                    normalized.get(r, c) * self.gamma.value.get(0, c) + self.beta.value.get(0, c),
+                );
+            }
+        }
+        self.cache = Some(LnCache { normalized, inv_std });
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Mat) -> Mat {
+        let cache = self.cache.as_ref().expect("forward before backward");
+        let dim = grad_out.cols();
+        let n = dim as f32;
+        let mut dx = Mat::zeros(grad_out.rows(), dim);
+        for r in 0..grad_out.rows() {
+            // Accumulate parameter grads.
+            for c in 0..dim {
+                let g = grad_out.get(r, c);
+                let gcur = self.gamma.grad.get(0, c) + g * cache.normalized.get(r, c);
+                self.gamma.grad.set(0, c, gcur);
+                let bcur = self.beta.grad.get(0, c) + g;
+                self.beta.grad.set(0, c, bcur);
+            }
+            // dxhat = dy * gamma
+            let dxhat: Vec<f32> = (0..dim)
+                .map(|c| grad_out.get(r, c) * self.gamma.value.get(0, c))
+                .collect();
+            let sum_dxhat: f32 = dxhat.iter().sum();
+            let sum_dxhat_xhat: f32 = dxhat
+                .iter()
+                .enumerate()
+                .map(|(c, d)| d * cache.normalized.get(r, c))
+                .sum();
+            let is = cache.inv_std[r];
+            for c in 0..dim {
+                let xhat = cache.normalized.get(r, c);
+                dx.set(
+                    r,
+                    c,
+                    is / n * (n * dxhat[c] - sum_dxhat - xhat * sum_dxhat_xhat),
+                );
+            }
+        }
+        dx
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+}
+
+/// A stack of layers applied in order.
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Sequential({} layers)", self.layers.len())
+    }
+}
+
+impl Sequential {
+    /// An empty stack.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a layer (builder style).
+    pub fn push(mut self, layer: impl Layer + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the stack is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, x: &Mat) -> Mat {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward(&cur);
+        }
+        cur
+    }
+
+    fn backward(&mut self, grad_out: &Mat) -> Mat {
+        let mut grad = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            grad = layer.backward(&grad);
+        }
+        grad
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
+    }
+}
+
+/// Numerical-vs-analytic gradient check utility (used across the crate's
+/// tests; exposed for downstream model tests).
+///
+/// Returns the maximum relative error between the analytic input gradient
+/// and a central-difference estimate for a scalar loss `L = sum(output)`.
+pub fn grad_check_input<L: Layer>(layer: &mut L, x: &Mat, eps: f32) -> f32 {
+    // Analytic.
+    let y = layer.forward(x);
+    let ones = Mat::from_vec(y.rows(), y.cols(), vec![1.0; y.rows() * y.cols()]);
+    let analytic = layer.backward(&ones);
+    // Numerical.
+    let mut max_err = 0.0f32;
+    for i in 0..x.rows() * x.cols() {
+        let mut xp = x.clone();
+        xp.data_mut()[i] += eps;
+        let lp: f32 = layer.forward(&xp).data().iter().sum();
+        let mut xm = x.clone();
+        xm.data_mut()[i] -= eps;
+        let lm: f32 = layer.forward(&xm).data().iter().sum();
+        let numeric = (lp - lm) / (2.0 * eps);
+        let a = analytic.data()[i];
+        let denom = a.abs().max(numeric.abs()).max(1e-4);
+        max_err = max_err.max((a - numeric).abs() / denom);
+    }
+    max_err
+}
+
+/// Like [`grad_check_input`] but for one named parameter (index into
+/// `params_mut()`), with loss `L = sum(output)`.
+pub fn grad_check_param<L: Layer>(layer: &mut L, x: &Mat, param_idx: usize, eps: f32) -> f32 {
+    layer.zero_grads();
+    let y = layer.forward(x);
+    let ones = Mat::from_vec(y.rows(), y.cols(), vec![1.0; y.rows() * y.cols()]);
+    let _ = layer.backward(&ones);
+    let analytic = layer.params_mut()[param_idx].grad.clone();
+    let n = analytic.rows() * analytic.cols();
+    let mut max_err = 0.0f32;
+    for i in 0..n {
+        let orig = layer.params_mut()[param_idx].value.data()[i];
+        layer.params_mut()[param_idx].value.data_mut()[i] = orig + eps;
+        let lp: f32 = layer.forward(x).data().iter().sum();
+        layer.params_mut()[param_idx].value.data_mut()[i] = orig - eps;
+        let lm: f32 = layer.forward(x).data().iter().sum();
+        layer.params_mut()[param_idx].value.data_mut()[i] = orig;
+        let numeric = (lp - lm) / (2.0 * eps);
+        let a = analytic.data()[i];
+        let denom = a.abs().max(numeric.abs()).max(1e-4);
+        max_err = max_err.max((a - numeric).abs() / denom);
+    }
+    max_err
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    fn sample_input(rows: usize, cols: usize) -> Mat {
+        let mut r = rng();
+        Mat::from_vec(
+            rows,
+            cols,
+            (0..rows * cols).map(|_| r.gen_range(-1.0..1.0)).collect(),
+        )
+    }
+
+    #[test]
+    fn linear_forward_shape_and_value() {
+        let mut r = rng();
+        let mut layer = Linear::new(3, 2, &mut r);
+        let x = sample_input(4, 3);
+        let y = layer.forward(&x);
+        assert_eq!((y.rows(), y.cols()), (4, 2));
+    }
+
+    #[test]
+    fn linear_grad_check() {
+        let mut r = rng();
+        let mut layer = Linear::new(3, 2, &mut r);
+        let x = sample_input(4, 3);
+        assert!(grad_check_input(&mut layer, &x, 1e-3) < 0.01);
+        assert!(grad_check_param(&mut layer, &x, 0, 1e-3) < 0.01); // W
+        assert!(grad_check_param(&mut layer, &x, 1, 1e-3) < 0.01); // b
+    }
+
+    #[test]
+    fn relu_grad_check() {
+        let mut layer = Relu::new();
+        let x = sample_input(5, 3);
+        assert!(grad_check_input(&mut layer, &x, 1e-3) < 0.01);
+    }
+
+    #[test]
+    fn tanh_grad_check() {
+        let mut layer = Tanh::new();
+        let x = sample_input(5, 3);
+        assert!(grad_check_input(&mut layer, &x, 1e-3) < 0.01);
+    }
+
+    #[test]
+    fn layernorm_normalizes_rows() {
+        let mut ln = LayerNorm::new(4);
+        let x = Mat::from_vec(2, 4, vec![1.0, 2.0, 3.0, 4.0, -2.0, 0.0, 2.0, 8.0]);
+        let y = ln.forward(&x);
+        for r in 0..2 {
+            let mean: f32 = y.row(r).iter().sum::<f32>() / 4.0;
+            let var: f32 = y.row(r).iter().map(|v| (v - mean).powi(2)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5, "row {r} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "row {r} var {var}");
+        }
+    }
+
+    #[test]
+    fn layernorm_grad_check() {
+        let mut ln = LayerNorm::new(5);
+        // Perturb affine params away from identity so their grads are
+        // exercised non-trivially.
+        let mut r = rng();
+        ln.params_mut()[0].value = Mat::xavier(1, 5, &mut r).map(|v| 1.0 + v);
+        ln.params_mut()[1].value = Mat::xavier(1, 5, &mut r);
+        let x = sample_input(4, 5);
+        // Normalisation cancels most of a uniform perturbation, so some
+        // true input gradients are near zero and the generic *relative*
+        // check is meaningless there; compare absolutely instead.
+        let y = ln.forward(&x);
+        let ones = Mat::from_vec(y.rows(), y.cols(), vec![1.0; y.rows() * y.cols()]);
+        let analytic = ln.backward(&ones);
+        let eps = 1e-3f32;
+        for i in 0..x.rows() * x.cols() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let lp: f32 = ln.forward(&xp).data().iter().sum();
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let lm: f32 = ln.forward(&xm).data().iter().sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            let a = analytic.data()[i];
+            assert!(
+                (a - numeric).abs() < 2e-2 * a.abs().max(1.0),
+                "element {i}: analytic {a} vs numeric {numeric}"
+            );
+        }
+        assert!(grad_check_param(&mut ln, &x, 0, 1e-2) < 0.02); // gamma
+        assert!(grad_check_param(&mut ln, &x, 1, 1e-2) < 0.02); // beta
+    }
+
+    #[test]
+    fn sequential_grad_check() {
+        let mut r = rng();
+        let mut model = Sequential::new()
+            .push(Linear::new(3, 8, &mut r))
+            .push(Relu::new())
+            .push(Linear::new(8, 2, &mut r))
+            .push(Tanh::new());
+        let x = sample_input(4, 3);
+        assert!(grad_check_input(&mut model, &x, 1e-3) < 0.02);
+    }
+
+    #[test]
+    fn zero_grads_clears() {
+        let mut r = rng();
+        let mut layer = Linear::new(3, 2, &mut r);
+        let x = sample_input(4, 3);
+        let y = layer.forward(&x);
+        let ones = Mat::from_vec(4, 2, vec![1.0; 8]);
+        let _ = layer.backward(&ones);
+        assert!(layer.params_mut()[0].grad.norm() > 0.0);
+        layer.zero_grads();
+        assert_eq!(layer.params_mut()[0].grad.norm(), 0.0);
+        let _ = y;
+    }
+
+    #[test]
+    fn param_count() {
+        let mut r = rng();
+        let mut layer = Linear::new(3, 2, &mut r);
+        assert_eq!(layer.param_count(), 3 * 2 + 2);
+    }
+
+    #[test]
+    fn gradients_accumulate_across_backwards() {
+        let mut r = rng();
+        let mut layer = Linear::new(2, 2, &mut r);
+        let x = sample_input(3, 2);
+        let ones = Mat::from_vec(3, 2, vec![1.0; 6]);
+        layer.forward(&x);
+        layer.backward(&ones);
+        let g1 = layer.params_mut()[0].grad.clone();
+        layer.forward(&x);
+        layer.backward(&ones);
+        let g2 = layer.params_mut()[0].grad.clone();
+        assert!((g2.norm() - 2.0 * g1.norm()).abs() < 1e-4);
+    }
+}

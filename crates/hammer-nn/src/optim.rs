@@ -1,0 +1,179 @@
+//! Optimizers: SGD and Adam.
+
+use crate::layer::Param;
+use crate::mat::Mat;
+
+/// Plain stochastic gradient descent.
+#[derive(Clone, Copy, Debug)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+}
+
+impl Sgd {
+    /// Creates SGD with the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr }
+    }
+
+    /// Applies one update to every parameter, consuming the gradients.
+    pub fn step(&self, params: Vec<&mut Param>) {
+        for p in params {
+            let update = p.grad.scale(self.lr);
+            p.value = p.value.sub(&update);
+            p.zero_grad();
+        }
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+#[derive(Debug)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical stabilizer.
+    pub eps: f32,
+    /// Optional gradient-norm clipping (per tensor).
+    pub clip: Option<f32>,
+    t: u64,
+    m: Vec<Mat>,
+    v: Vec<Mat>,
+}
+
+impl Adam {
+    /// Adam with the standard hyperparameters and the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            clip: Some(5.0),
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Applies one Adam update. The parameter list must be in the same
+    /// order every step (moment state is positional).
+    pub fn step(&mut self, params: Vec<&mut Param>) {
+        if self.m.is_empty() {
+            for p in &params {
+                self.m.push(Mat::zeros(p.value.rows(), p.value.cols()));
+                self.v.push(Mat::zeros(p.value.rows(), p.value.cols()));
+            }
+        }
+        assert_eq!(
+            params.len(),
+            self.m.len(),
+            "parameter list changed between steps"
+        );
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, p) in params.into_iter().enumerate() {
+            let mut grad = p.grad.clone();
+            if let Some(clip) = self.clip {
+                let norm = grad.norm();
+                if norm > clip {
+                    grad = grad.scale(clip / norm);
+                }
+            }
+            for j in 0..grad.data().len() {
+                let g = grad.data()[j];
+                let m = self.beta1 * self.m[i].data()[j] + (1.0 - self.beta1) * g;
+                let v = self.beta2 * self.v[i].data()[j] + (1.0 - self.beta2) * g * g;
+                self.m[i].data_mut()[j] = m;
+                self.v[i].data_mut()[j] = v;
+                let m_hat = m / bc1;
+                let v_hat = v / bc2;
+                p.value.data_mut()[j] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+            p.zero_grad();
+        }
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Layer, Linear};
+    use crate::loss::mse_loss;
+    use crate::mat::Mat;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Train y = 2x - 1 with a single linear layer.
+    fn train_linear(optimizer_is_adam: bool) -> f32 {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut model = Linear::new(1, 1, &mut rng);
+        let xs = Mat::from_vec(8, 1, (0..8).map(|i| i as f32 / 4.0).collect());
+        let ys = xs.map(|v| 2.0 * v - 1.0);
+        let mut adam = Adam::new(0.05);
+        let sgd = Sgd::new(0.1);
+        let mut last = f32::MAX;
+        for _ in 0..500 {
+            let pred = model.forward(&xs);
+            let (loss, grad) = mse_loss(&pred, &ys);
+            last = loss;
+            model.backward(&grad);
+            if optimizer_is_adam {
+                adam.step(model.params_mut());
+            } else {
+                sgd.step(model.params_mut());
+            }
+        }
+        last
+    }
+
+    #[test]
+    fn sgd_fits_line() {
+        assert!(train_linear(false) < 1e-3);
+    }
+
+    #[test]
+    fn adam_fits_line() {
+        assert!(train_linear(true) < 1e-3);
+    }
+
+    #[test]
+    fn adam_clips_huge_gradients() {
+        let mut adam = Adam::new(0.1);
+        let mut p = Param::new(Mat::zeros(1, 1));
+        p.grad = Mat::from_vec(1, 1, vec![1e9]);
+        adam.step(vec![&mut p]);
+        // Clipped + Adam normalisation: update magnitude ~= lr.
+        assert!(p.value.data()[0].abs() < 1.0);
+        assert!(p.value.data()[0] != 0.0);
+    }
+
+    #[test]
+    fn adam_zeroes_grads_after_step() {
+        let mut adam = Adam::new(0.01);
+        let mut p = Param::new(Mat::zeros(2, 2));
+        p.grad = Mat::from_vec(2, 2, vec![1.0; 4]);
+        adam.step(vec![&mut p]);
+        assert_eq!(p.grad.norm(), 0.0);
+        assert_eq!(adam.steps(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter list changed")]
+    fn adam_detects_param_list_change() {
+        let mut adam = Adam::new(0.01);
+        let mut p1 = Param::new(Mat::zeros(1, 1));
+        adam.step(vec![&mut p1]);
+        let mut p2 = Param::new(Mat::zeros(1, 1));
+        adam.step(vec![&mut p1, &mut p2]);
+    }
+}

@@ -1,0 +1,110 @@
+//! Prediction-quality metrics: the columns of the paper's Table III.
+
+/// MAE / MSE / RMSE / R² over a prediction set.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Metrics {
+    /// Mean absolute error.
+    pub mae: f64,
+    /// Mean squared error.
+    pub mse: f64,
+    /// Root mean squared error.
+    pub rmse: f64,
+    /// Coefficient of determination (1 = perfect; can be negative).
+    pub r2: f64,
+}
+
+/// Computes metrics for parallel prediction/target slices.
+///
+/// # Panics
+///
+/// Panics when the slices differ in length or are empty.
+pub fn evaluate(predictions: &[f64], targets: &[f64]) -> Metrics {
+    assert_eq!(predictions.len(), targets.len(), "length mismatch");
+    assert!(!predictions.is_empty(), "no predictions");
+    let n = predictions.len() as f64;
+    let mae = predictions
+        .iter()
+        .zip(targets)
+        .map(|(p, t)| (p - t).abs())
+        .sum::<f64>()
+        / n;
+    let mse = predictions
+        .iter()
+        .zip(targets)
+        .map(|(p, t)| (p - t).powi(2))
+        .sum::<f64>()
+        / n;
+    let mean_target = targets.iter().sum::<f64>() / n;
+    let ss_tot: f64 = targets.iter().map(|t| (t - mean_target).powi(2)).sum();
+    let ss_res: f64 = predictions
+        .iter()
+        .zip(targets)
+        .map(|(p, t)| (t - p).powi(2))
+        .sum();
+    let r2 = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else if ss_res == 0.0 {
+        1.0
+    } else {
+        0.0
+    };
+    Metrics {
+        mae,
+        mse,
+        rmse: mse.sqrt(),
+        r2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let t = [1.0, 2.0, 3.0];
+        let m = evaluate(&t, &t);
+        assert_eq!(m.mae, 0.0);
+        assert_eq!(m.mse, 0.0);
+        assert_eq!(m.rmse, 0.0);
+        assert_eq!(m.r2, 1.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let p = [2.0, 4.0];
+        let t = [1.0, 2.0];
+        let m = evaluate(&p, &t);
+        assert!((m.mae - 1.5).abs() < 1e-12); // (1 + 2)/2
+        assert!((m.mse - 2.5).abs() < 1e-12); // (1 + 4)/2
+        assert!((m.rmse - 2.5f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_prediction_has_zero_r2() {
+        let t = [1.0, 2.0, 3.0, 4.0];
+        let p = [2.5; 4];
+        let m = evaluate(&p, &t);
+        assert!(m.r2.abs() < 1e-12);
+    }
+
+    #[test]
+    fn bad_prediction_negative_r2() {
+        let t = [1.0, 2.0, 3.0];
+        let p = [30.0, -10.0, 99.0];
+        assert!(evaluate(&p, &t).r2 < 0.0);
+    }
+
+    #[test]
+    fn constant_target_handled() {
+        let t = [5.0; 3];
+        assert_eq!(evaluate(&t, &t).r2, 1.0);
+        assert_eq!(evaluate(&[6.0; 3], &t).r2, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = evaluate(&[1.0], &[1.0, 2.0]);
+    }
+}

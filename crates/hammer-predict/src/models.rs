@@ -1,0 +1,623 @@
+//! The prediction models of Table III.
+//!
+//! All five operate on *normalised* series (see [`crate::dataset`]), take
+//! a window of `TrainConfig::window` past values, and predict the next
+//! value. All are trained with MAE loss (paper Eq. 8) and Adam.
+
+use hammer_nn::layer::{Layer, Linear, Param};
+use hammer_nn::{Adam, BiGru, Mat, MultiHeadAttention, Relu, Sequential, TcnBlock, VanillaRnn};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Training hyperparameters shared by every model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TrainConfig {
+    /// Input window length (24 = one day of hourly buckets).
+    pub window: usize,
+    /// Maximum training epochs.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// RNG seed for weight init and sample shuffling.
+    pub seed: u64,
+    /// Stop when the epoch-mean loss improves less than this
+    /// ("the training process concludes when the model's loss converges").
+    pub convergence_tol: f32,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            window: 24,
+            epochs: 120,
+            lr: 5e-3,
+            seed: 7,
+            convergence_tol: 1e-5,
+        }
+    }
+}
+
+/// A next-step time-series predictor.
+pub trait SeriesModel {
+    /// Display name (matches Table III's Method column).
+    fn name(&self) -> &'static str;
+    /// Trains on a normalised series; returns the final epoch-mean MAE.
+    fn fit(&mut self, train: &[f64], config: &TrainConfig) -> f32;
+    /// Predicts the next normalised value from a window of
+    /// `config.window` normalised values.
+    fn predict_next(&mut self, window: &[f64]) -> f64;
+}
+
+fn window_to_mat(window: &[f64]) -> Mat {
+    Mat::from_vec(window.len(), 1, window.iter().map(|v| *v as f32).collect())
+}
+
+/// Shared training loop for sequence-body + scalar-head models.
+struct SeqTrainer {
+    body: Box<dyn Layer>,
+    head: Linear,
+    adam: Adam,
+    window: usize,
+    /// Feed the raw last observation to the head (skip connection).
+    use_skip: bool,
+    /// Validation-based early stopping with best-weight restore.
+    early_stop: bool,
+}
+
+impl SeqTrainer {
+    /// The vanilla training recipe the paper's baselines use: no skip
+    /// connection, plain train-until-converged.
+    fn vanilla(body: Box<dyn Layer>, head: Linear, lr: f32, window: usize) -> Self {
+        SeqTrainer {
+            body,
+            head,
+            adam: Adam::new(lr),
+            window,
+            use_skip: false,
+            early_stop: false,
+        }
+    }
+
+    /// The full recipe of the proposed model: last-value skip connection
+    /// plus validation early stopping.
+    fn tuned(body: Box<dyn Layer>, head: Linear, lr: f32, window: usize) -> Self {
+        SeqTrainer {
+            body,
+            head,
+            adam: Adam::new(lr),
+            window,
+            use_skip: true,
+            early_stop: true,
+        }
+    }
+
+    /// Head input: the body's last-step features, plus — with `use_skip` —
+    /// the raw last observation (a skip connection: short-term dependence
+    /// flows straight to the output, so the learned stack only has to
+    /// model the *change*).
+    fn head_input(&self, window: &[f64], seq: &Mat) -> Mat {
+        let mut features = seq.row(seq.rows() - 1).to_vec();
+        if self.use_skip {
+            features.push(*window.last().expect("nonempty window") as f32);
+        }
+        Mat::from_vec(1, features.len(), features)
+    }
+
+    fn forward_scalar(&mut self, window: &[f64]) -> f32 {
+        let x = window_to_mat(window);
+        let seq = self.body.forward(&x);
+        let last = self.head_input(window, &seq);
+        self.head.forward(&last).get(0, 0)
+    }
+
+    /// One MAE training step; returns the loss.
+    fn train_step(&mut self, window: &[f64], target: f64) -> f32 {
+        let x = window_to_mat(window);
+        let seq = self.body.forward(&x);
+        let t_len = seq.rows();
+        let cols = seq.cols();
+        let last = self.head_input(window, &seq);
+        let pred = self.head.forward(&last);
+        let target_mat = Mat::from_vec(1, 1, vec![target as f32]);
+        let (loss, dpred) = hammer_nn::mae_loss(&pred, &target_mat);
+        let d_last = self.head.backward(&dpred);
+        // Only the last time step feeds the head (the final skip-feature
+        // column belongs to the raw input, which takes no gradient).
+        let mut d_seq = Mat::zeros(t_len, cols);
+        d_seq.row_mut(t_len - 1).copy_from_slice(&d_last.row(0)[..cols]);
+        let _ = self.body.backward(&d_seq);
+        let mut params = self.body.params_mut();
+        params.extend(self.head.params_mut());
+        self.adam.step(params);
+        loss
+    }
+
+    fn snapshot(&mut self) -> Vec<Mat> {
+        let mut params: Vec<Mat> = self
+            .body
+            .params_mut()
+            .iter()
+            .map(|p| p.value.clone())
+            .collect();
+        params.extend(self.head.params_mut().iter().map(|p| p.value.clone()));
+        params
+    }
+
+    fn restore(&mut self, snapshot: &[Mat]) {
+        let mut params = self.body.params_mut();
+        params.extend(self.head.params_mut());
+        for (p, saved) in params.into_iter().zip(snapshot) {
+            p.value = saved.clone();
+        }
+    }
+
+    fn validation_mae(&mut self, samples: &[(&[f64], f64)]) -> f32 {
+        let mut total = 0.0;
+        for (w, t) in samples {
+            total += (self.forward_scalar(w) as f64 - t).abs() as f32;
+        }
+        total / samples.len().max(1) as f32
+    }
+
+    /// Trains until the loss converges; with `early_stop`, holds out a
+    /// chronological validation tail (last 15% of windows) and restores
+    /// the best-validation weights, which keeps larger models from
+    /// memorising the small datasets.
+    fn fit(&mut self, train: &[f64], config: &TrainConfig) -> f32 {
+        let samples = crate::dataset::windows(train, self.window);
+        if samples.is_empty() {
+            return f32::NAN;
+        }
+        let split = if self.early_stop {
+            (samples.len() * 85 / 100).max(1).min(samples.len() - 1)
+        } else {
+            samples.len() - 1
+        };
+        let (train_samples, val_samples) = if samples.len() >= 8 && self.early_stop {
+            samples.split_at(split)
+        } else {
+            (&samples[..], &samples[..samples.len().min(1)])
+        };
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0xfeed);
+        let mut order: Vec<usize> = (0..train_samples.len()).collect();
+        let mut best_val = f32::MAX;
+        let mut best_snapshot = self.snapshot();
+        let mut patience = 10u32;
+        let mut final_loss = f32::NAN;
+        for _ in 0..config.epochs {
+            order.shuffle(&mut rng);
+            let mut total = 0.0;
+            for &i in &order {
+                let (w, t) = train_samples[i];
+                total += self.train_step(w, t);
+            }
+            final_loss = total / train_samples.len() as f32;
+            if self.early_stop {
+                let val = self.validation_mae(val_samples);
+                if val + config.convergence_tol < best_val {
+                    best_val = val;
+                    best_snapshot = self.snapshot();
+                    patience = 10;
+                } else {
+                    patience -= 1;
+                    if patience == 0 {
+                        break;
+                    }
+                }
+            } else {
+                // Vanilla convergence criterion on the training loss.
+                if (best_val - final_loss).abs() < config.convergence_tol {
+                    break;
+                }
+                best_val = final_loss;
+            }
+        }
+        if self.early_stop {
+            self.restore(&best_snapshot);
+        }
+        final_loss
+    }
+}
+
+/// Positional encoding: adds fixed sinusoids to the sequence (identity in
+/// the backward pass). Needed by the Transformer baseline, which has no
+/// recurrence or convolution to perceive order.
+#[derive(Clone, Debug, Default)]
+struct PositionalEncoding;
+
+impl Layer for PositionalEncoding {
+    fn forward(&mut self, x: &Mat) -> Mat {
+        let mut out = x.clone();
+        let d = x.cols();
+        for t in 0..x.rows() {
+            for c in 0..d {
+                let angle = t as f32 / 10_000f32.powf(2.0 * (c / 2) as f32 / d as f32);
+                let enc = if c % 2 == 0 { angle.sin() } else { angle.cos() };
+                let v = out.get(t, c) + enc;
+                out.set(t, c, v);
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Mat) -> Mat {
+        grad_out.clone()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+}
+
+/// Linear autoregression: the flattened window through one dense layer.
+pub struct LinearModel {
+    net: Linear,
+    adam: Adam,
+    window: usize,
+}
+
+impl LinearModel {
+    /// Builds the model for the config's window length.
+    pub fn new(config: &TrainConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        LinearModel {
+            net: Linear::new(config.window, 1, &mut rng),
+            adam: Adam::new(config.lr),
+            window: config.window,
+        }
+    }
+}
+
+impl SeriesModel for LinearModel {
+    fn name(&self) -> &'static str {
+        "Linear"
+    }
+
+    fn fit(&mut self, train: &[f64], config: &TrainConfig) -> f32 {
+        let samples = crate::dataset::windows(train, self.window);
+        if samples.is_empty() {
+            return f32::NAN;
+        }
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0xfeed);
+        let mut order: Vec<usize> = (0..samples.len()).collect();
+        let mut prev_loss = f32::MAX;
+        let mut final_loss = f32::NAN;
+        for _ in 0..config.epochs {
+            order.shuffle(&mut rng);
+            let mut total = 0.0;
+            for &i in &order {
+                let (w, t) = samples[i];
+                let x = Mat::from_vec(1, self.window, w.iter().map(|v| *v as f32).collect());
+                let pred = self.net.forward(&x);
+                let target = Mat::from_vec(1, 1, vec![t as f32]);
+                let (loss, dpred) = hammer_nn::mae_loss(&pred, &target);
+                total += loss;
+                let _ = self.net.backward(&dpred);
+                self.adam.step(self.net.params_mut());
+            }
+            final_loss = total / samples.len() as f32;
+            if (prev_loss - final_loss).abs() < config.convergence_tol {
+                break;
+            }
+            prev_loss = final_loss;
+        }
+        final_loss
+    }
+
+    fn predict_next(&mut self, window: &[f64]) -> f64 {
+        let x = Mat::from_vec(1, self.window, window.iter().map(|v| *v as f32).collect());
+        self.net.forward(&x).get(0, 0) as f64
+    }
+}
+
+/// The vanilla-RNN baseline.
+pub struct RnnModel {
+    trainer: SeqTrainer,
+}
+
+impl RnnModel {
+    /// Builds the model.
+    pub fn new(config: &TrainConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let hidden = 24;
+        let body = VanillaRnn::new(1, hidden, &mut rng);
+        let head = Linear::new(hidden, 1, &mut rng);
+        RnnModel {
+            trainer: SeqTrainer::vanilla(Box::new(body), head, config.lr, config.window),
+        }
+    }
+}
+
+impl SeriesModel for RnnModel {
+    fn name(&self) -> &'static str {
+        "RNN"
+    }
+    fn fit(&mut self, train: &[f64], config: &TrainConfig) -> f32 {
+        self.trainer.fit(train, config)
+    }
+    fn predict_next(&mut self, window: &[f64]) -> f64 {
+        self.trainer.forward_scalar(window) as f64
+    }
+}
+
+/// The TCN-only baseline (two residual blocks, dilations 1 and 2).
+pub struct TcnModel {
+    trainer: SeqTrainer,
+}
+
+impl TcnModel {
+    /// Builds the model.
+    pub fn new(config: &TrainConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let channels = 16;
+        let body = Sequential::new()
+            .push(TcnBlock::new(1, channels, 3, 1, &mut rng))
+            .push(TcnBlock::new(channels, channels, 3, 2, &mut rng))
+            .push(TcnBlock::new(channels, channels, 3, 4, &mut rng));
+        let head = Linear::new(channels, 1, &mut rng);
+        TcnModel {
+            trainer: SeqTrainer::vanilla(Box::new(body), head, config.lr, config.window),
+        }
+    }
+}
+
+impl SeriesModel for TcnModel {
+    fn name(&self) -> &'static str {
+        "TCN"
+    }
+    fn fit(&mut self, train: &[f64], config: &TrainConfig) -> f32 {
+        self.trainer.fit(train, config)
+    }
+    fn predict_next(&mut self, window: &[f64]) -> f64 {
+        self.trainer.forward_scalar(window) as f64
+    }
+}
+
+/// The Transformer baseline: embedding + positional encoding + one
+/// self-attention encoder block with a feed-forward tail.
+pub struct TransformerModel {
+    trainer: SeqTrainer,
+}
+
+impl TransformerModel {
+    /// Builds the model.
+    pub fn new(config: &TrainConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let d = 16;
+        let body = Sequential::new()
+            .push(Linear::new(1, d, &mut rng))
+            .push(PositionalEncoding)
+            .push(MultiHeadAttention::new(d, 4, &mut rng))
+            .push(Linear::new(d, 2 * d, &mut rng))
+            .push(Relu::new())
+            .push(Linear::new(2 * d, d, &mut rng));
+        let head = Linear::new(d, 1, &mut rng);
+        TransformerModel {
+            trainer: SeqTrainer::vanilla(Box::new(body), head, config.lr, config.window),
+        }
+    }
+}
+
+impl SeriesModel for TransformerModel {
+    fn name(&self) -> &'static str {
+        "Transformer"
+    }
+    fn fit(&mut self, train: &[f64], config: &TrainConfig) -> f32 {
+        self.trainer.fit(train, config)
+    }
+    fn predict_next(&mut self, window: &[f64]) -> f64 {
+        self.trainer.forward_scalar(window) as f64
+    }
+}
+
+/// The paper's model (Fig. 5): **TCN → BiGRU → multi-head attention**.
+///
+/// The TCN captures long-range structure (periodicity), the BiGRU models
+/// short-range dependencies in both directions, and the attention stage
+/// catches sudden bursts. Because the paper's datasets yield only ~200
+/// training windows, each member network is deliberately small and the
+/// model is a 3-member deep ensemble (different initialisations, averaged
+/// predictions) — the standard variance-reduction recipe at this data
+/// scale (see EXPERIMENTS.md).
+pub struct HammerModel {
+    members: Vec<SeqTrainer>,
+}
+
+impl HammerModel {
+    /// Builds the ensemble.
+    pub fn new(config: &TrainConfig) -> Self {
+        let members = (0..3u64)
+            .map(|i| {
+                let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(i * 7919));
+                let channels = 8;
+                let gru_hidden = 6; // BiGRU output = 12
+                let attn_dim = 2 * gru_hidden;
+                let body = Sequential::new()
+                    .push(TcnBlock::new(1, channels, 3, 1, &mut rng))
+                    .push(TcnBlock::new(channels, channels, 3, 2, &mut rng))
+                    .push(BiGru::new(channels, gru_hidden, &mut rng))
+                    .push(MultiHeadAttention::new(attn_dim, 2, &mut rng));
+                let head = Linear::new(attn_dim + 1, 1, &mut rng);
+                SeqTrainer::tuned(Box::new(body), head, config.lr * 0.2, config.window)
+            })
+            .collect();
+        HammerModel { members }
+    }
+}
+
+impl SeriesModel for HammerModel {
+    fn name(&self) -> &'static str {
+        "Ours"
+    }
+    fn fit(&mut self, train: &[f64], config: &TrainConfig) -> f32 {
+        let mut last = f32::NAN;
+        for member in &mut self.members {
+            last = member.fit(train, config);
+        }
+        last
+    }
+    fn predict_next(&mut self, window: &[f64]) -> f64 {
+        let n = self.members.len().max(1) as f64;
+        self.members
+            .iter_mut()
+            .map(|m| m.forward_scalar(window) as f64)
+            .sum::<f64>()
+            / n
+    }
+}
+
+/// A public handle to the shared sequence trainer, for ablation studies
+/// that assemble custom bodies from [`hammer_nn`] blocks and train them
+/// with exactly the recipes the Table III models use.
+pub struct SeqTrainerHandle {
+    inner: SeqTrainer,
+}
+
+impl SeqTrainerHandle {
+    /// The vanilla recipe (the baselines' protocol): no skip connection,
+    /// train until the loss converges.
+    pub fn vanilla(
+        body: Box<dyn Layer>,
+        head: Linear,
+        lr: f32,
+        window: usize,
+    ) -> Self {
+        SeqTrainerHandle {
+            inner: SeqTrainer::vanilla(body, head, lr, window),
+        }
+    }
+
+    /// The proposed model's full recipe: last-value skip connection plus
+    /// validation early stopping with best-weight restore.
+    pub fn tuned(body: Box<dyn Layer>, head: Linear, lr: f32, window: usize) -> Self {
+        SeqTrainerHandle {
+            inner: SeqTrainer::tuned(body, head, lr, window),
+        }
+    }
+
+    /// Trains on a normalised series; returns the final epoch-mean MAE.
+    pub fn fit(&mut self, train: &[f64], config: &TrainConfig) -> f32 {
+        self.inner.fit(train, config)
+    }
+
+    /// Predicts the next normalised value.
+    pub fn predict_next(&mut self, window: &[f64]) -> f64 {
+        self.inner.forward_scalar(window) as f64
+    }
+}
+
+/// Builds all five Table III models in the paper's row order.
+pub fn all_models(config: &TrainConfig) -> Vec<Box<dyn SeriesModel>> {
+    vec![
+        Box::new(LinearModel::new(config)),
+        Box::new(RnnModel::new(config)),
+        Box::new(TcnModel::new(config)),
+        Box::new(TransformerModel::new(config)),
+        Box::new(HammerModel::new(config)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine_series(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (i as f64 * 2.0 * std::f64::consts::PI / 24.0).sin())
+            .collect()
+    }
+
+    fn quick_config() -> TrainConfig {
+        TrainConfig {
+            window: 12,
+            epochs: 15,
+            lr: 1e-2,
+            seed: 3,
+            convergence_tol: 1e-7,
+        }
+    }
+
+    fn check_learns(model: &mut dyn SeriesModel, tolerance: f64) {
+        let config = quick_config();
+        let series = sine_series(200);
+        let loss = model.fit(&series[..160], &config);
+        assert!(loss.is_finite(), "{}: loss diverged", model.name());
+        // Evaluate one-step predictions on the tail.
+        let samples = crate::dataset::windows(&series[148..], config.window);
+        let mut total_err = 0.0;
+        for (w, t) in &samples {
+            total_err += (model.predict_next(w) - t).abs();
+        }
+        let mae = total_err / samples.len() as f64;
+        assert!(
+            mae < tolerance,
+            "{}: test MAE {mae} above {tolerance}",
+            model.name()
+        );
+    }
+
+    #[test]
+    fn linear_learns_sine() {
+        check_learns(&mut LinearModel::new(&quick_config()), 0.3);
+    }
+
+    #[test]
+    fn rnn_learns_sine() {
+        check_learns(&mut RnnModel::new(&quick_config()), 0.35);
+    }
+
+    #[test]
+    fn tcn_learns_sine() {
+        check_learns(&mut TcnModel::new(&quick_config()), 0.35);
+    }
+
+    #[test]
+    fn transformer_learns_sine() {
+        check_learns(&mut TransformerModel::new(&quick_config()), 0.5);
+    }
+
+    #[test]
+    fn hammer_model_learns_sine() {
+        check_learns(&mut HammerModel::new(&quick_config()), 0.3);
+    }
+
+    #[test]
+    fn all_models_have_unique_names() {
+        let config = quick_config();
+        let models = all_models(&config);
+        let names: Vec<&str> = models.iter().map(|m| m.name()).collect();
+        assert_eq!(names, vec!["Linear", "RNN", "TCN", "Transformer", "Ours"]);
+    }
+
+    #[test]
+    fn training_is_deterministic_per_seed() {
+        let config = quick_config();
+        let series = sine_series(100);
+        let mut a = HammerModel::new(&config);
+        let mut b = HammerModel::new(&config);
+        let la = a.fit(&series, &config);
+        let lb = b.fit(&series, &config);
+        assert_eq!(la, lb);
+        let w = &series[..config.window];
+        assert_eq!(a.predict_next(w), b.predict_next(w));
+    }
+
+    #[test]
+    fn positional_encoding_identity_backward() {
+        let mut pe = PositionalEncoding;
+        let x = Mat::from_vec(3, 2, vec![0.0; 6]);
+        let y = pe.forward(&x);
+        // Encoding alone: y[0][1] = cos(0) = 1.
+        assert!((y.get(0, 1) - 1.0).abs() < 1e-6);
+        let g = Mat::from_vec(3, 2, vec![1.0; 6]);
+        assert_eq!(pe.backward(&g), g);
+    }
+
+    #[test]
+    fn fit_on_too_short_series_returns_nan() {
+        let config = quick_config();
+        let mut model = LinearModel::new(&config);
+        assert!(model.fit(&[1.0, 2.0], &config).is_nan());
+    }
+}

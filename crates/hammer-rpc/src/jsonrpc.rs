@@ -1,0 +1,393 @@
+//! JSON-RPC 2.0 request/response framing.
+
+use std::fmt;
+
+use crate::json::Value;
+
+/// Standard JSON-RPC 2.0 error codes, plus an application range.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RpcErrorCode {
+    /// -32700: invalid JSON.
+    ParseError,
+    /// -32600: request object invalid.
+    InvalidRequest,
+    /// -32601: method does not exist.
+    MethodNotFound,
+    /// -32602: invalid method parameters.
+    InvalidParams,
+    /// -32603: internal server error.
+    InternalError,
+    /// Application-defined code (the blockchain adapters use these for
+    /// chain-side failures such as mempool-full or unknown-shard).
+    Application(i64),
+}
+
+impl RpcErrorCode {
+    /// The numeric wire code.
+    pub fn code(&self) -> i64 {
+        match self {
+            RpcErrorCode::ParseError => -32700,
+            RpcErrorCode::InvalidRequest => -32600,
+            RpcErrorCode::MethodNotFound => -32601,
+            RpcErrorCode::InvalidParams => -32602,
+            RpcErrorCode::InternalError => -32603,
+            RpcErrorCode::Application(c) => *c,
+        }
+    }
+
+    /// Reconstructs from a numeric wire code.
+    pub fn from_code(code: i64) -> Self {
+        match code {
+            -32700 => RpcErrorCode::ParseError,
+            -32600 => RpcErrorCode::InvalidRequest,
+            -32601 => RpcErrorCode::MethodNotFound,
+            -32602 => RpcErrorCode::InvalidParams,
+            -32603 => RpcErrorCode::InternalError,
+            c => RpcErrorCode::Application(c),
+        }
+    }
+}
+
+/// A JSON-RPC error object.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RpcError {
+    /// The error code.
+    pub code: RpcErrorCode,
+    /// Short description.
+    pub message: String,
+    /// Optional structured details.
+    pub data: Option<Value>,
+}
+
+impl RpcError {
+    /// Convenience constructor without data.
+    pub fn new(code: RpcErrorCode, message: impl Into<String>) -> Self {
+        RpcError {
+            code,
+            message: message.into(),
+            data: None,
+        }
+    }
+
+    /// A `MethodNotFound` error for `method`.
+    pub fn method_not_found(method: &str) -> Self {
+        Self::new(
+            RpcErrorCode::MethodNotFound,
+            format!("method not found: {method}"),
+        )
+    }
+
+    /// An `InvalidParams` error.
+    pub fn invalid_params(detail: impl Into<String>) -> Self {
+        Self::new(RpcErrorCode::InvalidParams, detail)
+    }
+
+    /// An application error with the given code.
+    pub fn application(code: i64, message: impl Into<String>) -> Self {
+        Self::new(RpcErrorCode::Application(code), message)
+    }
+}
+
+impl fmt::Display for RpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RPC error {}: {}", self.code.code(), self.message)
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+/// A JSON-RPC 2.0 request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RpcRequest {
+    /// Request id (the transport fills this in).
+    pub id: u64,
+    /// Method name.
+    pub method: String,
+    /// Parameters value (commonly an object or array).
+    pub params: Value,
+}
+
+impl RpcRequest {
+    /// Serialises to a JSON-RPC 2.0 wire object.
+    pub fn to_value(&self) -> Value {
+        Value::object([
+            ("jsonrpc", Value::from("2.0")),
+            ("id", Value::from(self.id)),
+            ("method", Value::from(self.method.clone())),
+            ("params", self.params.clone()),
+        ])
+    }
+
+    /// Parses a wire object, validating the envelope.
+    pub fn from_value(v: &Value) -> Result<Self, RpcError> {
+        if v.get("jsonrpc").and_then(Value::as_str) != Some("2.0") {
+            return Err(RpcError::new(
+                RpcErrorCode::InvalidRequest,
+                "missing or wrong jsonrpc version",
+            ));
+        }
+        let id = v
+            .get("id")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| RpcError::new(RpcErrorCode::InvalidRequest, "missing id"))?;
+        let method = v
+            .get("method")
+            .and_then(Value::as_str)
+            .ok_or_else(|| RpcError::new(RpcErrorCode::InvalidRequest, "missing method"))?
+            .to_owned();
+        let params = v.get("params").cloned().unwrap_or(Value::Null);
+        Ok(RpcRequest { id, method, params })
+    }
+
+    /// Serialises to JSON text.
+    pub fn to_json(&self) -> String {
+        self.to_value().to_json()
+    }
+
+    /// Parses from JSON text.
+    pub fn parse(text: &str) -> Result<Self, RpcError> {
+        let v = Value::parse(text)
+            .map_err(|e| RpcError::new(RpcErrorCode::ParseError, e.to_string()))?;
+        Self::from_value(&v)
+    }
+}
+
+/// A JSON-RPC 2.0 response.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RpcResponse {
+    /// Echoed request id.
+    pub id: u64,
+    /// Either a result or an error.
+    pub outcome: Result<Value, RpcError>,
+}
+
+impl RpcResponse {
+    /// A success response.
+    pub fn success(id: u64, result: Value) -> Self {
+        RpcResponse {
+            id,
+            outcome: Ok(result),
+        }
+    }
+
+    /// An error response.
+    pub fn error(id: u64, error: RpcError) -> Self {
+        RpcResponse {
+            id,
+            outcome: Err(error),
+        }
+    }
+
+    /// Serialises to a wire object.
+    pub fn to_value(&self) -> Value {
+        match &self.outcome {
+            Ok(result) => Value::object([
+                ("jsonrpc", Value::from("2.0")),
+                ("id", Value::from(self.id)),
+                ("result", result.clone()),
+            ]),
+            Err(err) => {
+                let mut error_obj = vec![
+                    ("code".to_owned(), Value::from(err.code.code())),
+                    ("message".to_owned(), Value::from(err.message.clone())),
+                ];
+                if let Some(data) = &err.data {
+                    error_obj.push(("data".to_owned(), data.clone()));
+                }
+                Value::object([
+                    ("jsonrpc", Value::from("2.0")),
+                    ("id", Value::from(self.id)),
+                    ("error", Value::Object(error_obj)),
+                ])
+            }
+        }
+    }
+
+    /// Parses a wire object, validating the envelope.
+    pub fn from_value(v: &Value) -> Result<Self, RpcError> {
+        if v.get("jsonrpc").and_then(Value::as_str) != Some("2.0") {
+            return Err(RpcError::new(
+                RpcErrorCode::InvalidRequest,
+                "missing or wrong jsonrpc version",
+            ));
+        }
+        let id = v
+            .get("id")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| RpcError::new(RpcErrorCode::InvalidRequest, "missing id"))?;
+        if let Some(err) = v.get("error") {
+            let code = err
+                .get("code")
+                .and_then(Value::as_i64)
+                .ok_or_else(|| RpcError::new(RpcErrorCode::InvalidRequest, "missing error code"))?;
+            let message = err
+                .get("message")
+                .and_then(Value::as_str)
+                .unwrap_or("")
+                .to_owned();
+            return Ok(RpcResponse::error(
+                id,
+                RpcError {
+                    code: RpcErrorCode::from_code(code),
+                    message,
+                    data: err.get("data").cloned(),
+                },
+            ));
+        }
+        let result = v
+            .get("result")
+            .cloned()
+            .ok_or_else(|| RpcError::new(RpcErrorCode::InvalidRequest, "missing result"))?;
+        Ok(RpcResponse::success(id, result))
+    }
+
+    /// Serialises to JSON text.
+    pub fn to_json(&self) -> String {
+        self.to_value().to_json()
+    }
+
+    /// Parses from JSON text.
+    pub fn parse(text: &str) -> Result<Self, RpcError> {
+        let v = Value::parse(text)
+            .map_err(|e| RpcError::new(RpcErrorCode::ParseError, e.to_string()))?;
+        Self::from_value(&v)
+    }
+}
+
+/// A JSON-RPC 2.0 batch: several requests in one wire message
+/// (the spec's array form). Empty batches are invalid per the spec.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RpcBatch(pub Vec<RpcRequest>);
+
+impl RpcBatch {
+    /// Serialises to the wire array.
+    pub fn to_json(&self) -> String {
+        Value::Array(self.0.iter().map(RpcRequest::to_value).collect()).to_json()
+    }
+
+    /// Parses a wire array, validating every envelope.
+    pub fn parse(text: &str) -> Result<Self, RpcError> {
+        let v = Value::parse(text)
+            .map_err(|e| RpcError::new(RpcErrorCode::ParseError, e.to_string()))?;
+        let items = v
+            .as_array()
+            .ok_or_else(|| RpcError::new(RpcErrorCode::InvalidRequest, "batch must be an array"))?;
+        if items.is_empty() {
+            return Err(RpcError::new(
+                RpcErrorCode::InvalidRequest,
+                "batch must not be empty",
+            ));
+        }
+        let requests: Result<Vec<RpcRequest>, RpcError> =
+            items.iter().map(RpcRequest::from_value).collect();
+        Ok(RpcBatch(requests?))
+    }
+}
+
+/// Serialises a batch of responses to the wire array.
+pub fn batch_responses_to_json(responses: &[RpcResponse]) -> String {
+    Value::Array(responses.iter().map(RpcResponse::to_value).collect()).to_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let req = RpcRequest {
+            id: 7,
+            method: "send_transaction".to_owned(),
+            params: Value::object([("payload", Value::from("abc"))]),
+        };
+        let parsed = RpcRequest::parse(&req.to_json()).unwrap();
+        assert_eq!(parsed, req);
+    }
+
+    #[test]
+    fn response_success_roundtrip() {
+        let resp = RpcResponse::success(3, Value::from(vec![1i64, 2, 3]));
+        let parsed = RpcResponse::parse(&resp.to_json()).unwrap();
+        assert_eq!(parsed, resp);
+    }
+
+    #[test]
+    fn response_error_roundtrip() {
+        let resp = RpcResponse::error(
+            9,
+            RpcError {
+                code: RpcErrorCode::Application(-1001),
+                message: "mempool full".to_owned(),
+                data: Some(Value::from(42)),
+            },
+        );
+        let parsed = RpcResponse::parse(&resp.to_json()).unwrap();
+        assert_eq!(parsed, resp);
+    }
+
+    #[test]
+    fn request_rejects_missing_fields() {
+        assert!(RpcRequest::parse(r#"{"id":1,"method":"x"}"#).is_err()); // no version
+        assert!(RpcRequest::parse(r#"{"jsonrpc":"2.0","method":"x"}"#).is_err()); // no id
+        assert!(RpcRequest::parse(r#"{"jsonrpc":"2.0","id":1}"#).is_err()); // no method
+        assert!(RpcRequest::parse("not json").is_err());
+    }
+
+    #[test]
+    fn response_requires_result_or_error() {
+        assert!(RpcResponse::parse(r#"{"jsonrpc":"2.0","id":1}"#).is_err());
+    }
+
+    #[test]
+    fn error_codes_map_both_ways() {
+        for code in [
+            RpcErrorCode::ParseError,
+            RpcErrorCode::InvalidRequest,
+            RpcErrorCode::MethodNotFound,
+            RpcErrorCode::InvalidParams,
+            RpcErrorCode::InternalError,
+            RpcErrorCode::Application(-1234),
+        ] {
+            assert_eq!(RpcErrorCode::from_code(code.code()), code);
+        }
+    }
+
+    #[test]
+    fn params_default_to_null() {
+        let req = RpcRequest::parse(r#"{"jsonrpc":"2.0","id":1,"method":"ping"}"#).unwrap();
+        assert!(req.params.is_null());
+    }
+
+    #[test]
+    fn batch_roundtrip() {
+        let batch = RpcBatch(vec![
+            RpcRequest { id: 1, method: "a".into(), params: Value::Null },
+            RpcRequest { id: 2, method: "b".into(), params: Value::from(7) },
+        ]);
+        let parsed = RpcBatch::parse(&batch.to_json()).unwrap();
+        assert_eq!(parsed, batch);
+    }
+
+    #[test]
+    fn batch_rejects_empty_and_non_array() {
+        assert!(RpcBatch::parse("[]").is_err());
+        assert!(RpcBatch::parse("{}").is_err());
+        assert!(RpcBatch::parse(r#"[{"jsonrpc":"2.0","id":1}]"#).is_err());
+    }
+
+    #[test]
+    fn batch_response_serialisation() {
+        let out = batch_responses_to_json(&[
+            RpcResponse::success(1, Value::from(1)),
+            RpcResponse::error(2, RpcError::method_not_found("x")),
+        ]);
+        let v = Value::parse(&out).unwrap();
+        assert_eq!(v.as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = RpcError::method_not_found("foo");
+        assert_eq!(e.to_string(), "RPC error -32601: method not found: foo");
+    }
+}

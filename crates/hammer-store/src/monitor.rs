@@ -1,0 +1,223 @@
+//! A resource monitor standing in for Prometheus + node-exporter.
+//!
+//! The paper's visualisation phase (§III-B3) pulls CPU, memory, and network
+//! consumption from every node during the run. This monitor samples
+//! process-level proxies on a fixed period and keeps the time series in
+//! memory for the report layer:
+//!
+//! * **network in/out** — read from the [`hammer_net::SimNetwork`] counters;
+//! * **work counters** — arbitrary named gauges registered by components
+//!   (blocks sealed, transactions committed, queue depths), mirroring how
+//!   node-exporter scrapes application metrics.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use hammer_net::SimNetwork;
+use parking_lot::{Mutex, RwLock};
+
+/// One scrape of all metrics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResourceSample {
+    /// Simulated timestamp of the scrape.
+    pub at: Duration,
+    /// Total bytes accepted by the network so far.
+    pub net_bytes_sent: u64,
+    /// Total messages delivered so far.
+    pub net_messages_delivered: u64,
+    /// Values of every registered gauge at scrape time.
+    pub gauges: Vec<(String, u64)>,
+}
+
+/// A shared named gauge that components bump.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Adds to the gauge.
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Sets the gauge to an absolute value.
+    pub fn set(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+struct Inner {
+    net: SimNetwork,
+    gauges: RwLock<HashMap<String, Gauge>>,
+    samples: Mutex<Vec<ResourceSample>>,
+    stop: AtomicBool,
+}
+
+/// The scraping monitor. Cheap to clone.
+#[derive(Clone)]
+pub struct ResourceMonitor {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for ResourceMonitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResourceMonitor")
+            .field("samples", &self.inner.samples.lock().len())
+            .finish()
+    }
+}
+
+impl ResourceMonitor {
+    /// Creates a monitor over the given network (not yet scraping).
+    pub fn new(net: SimNetwork) -> Self {
+        ResourceMonitor {
+            inner: Arc::new(Inner {
+                net,
+                gauges: RwLock::new(HashMap::new()),
+                samples: Mutex::new(Vec::new()),
+                stop: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// Registers (or fetches) a named gauge.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut gauges = self.inner.gauges.write();
+        gauges.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// Takes one scrape immediately.
+    pub fn scrape(&self) -> ResourceSample {
+        let stats = self.inner.net.stats();
+        let mut gauges: Vec<(String, u64)> = self
+            .inner
+            .gauges
+            .read()
+            .iter()
+            .map(|(k, g)| (k.clone(), g.value()))
+            .collect();
+        gauges.sort();
+        let sample = ResourceSample {
+            at: self.inner.net.clock().now(),
+            net_bytes_sent: stats.bytes_sent,
+            net_messages_delivered: stats.delivered,
+            gauges,
+        };
+        self.inner.samples.lock().push(sample.clone());
+        sample
+    }
+
+    /// Starts a background scraper with the given wall-clock period;
+    /// returns a handle that stops it when dropped.
+    pub fn start_scraping(&self, period: Duration) -> ScrapeHandle {
+        let monitor = self.clone();
+        let handle = std::thread::Builder::new()
+            .name("resource-monitor".to_owned())
+            .spawn(move || {
+                while !monitor.inner.stop.load(Ordering::Relaxed) {
+                    monitor.scrape();
+                    std::thread::sleep(period);
+                }
+            })
+            .expect("spawn monitor");
+        ScrapeHandle {
+            inner: Arc::clone(&self.inner),
+            thread: Some(handle),
+        }
+    }
+
+    /// All samples collected so far.
+    pub fn samples(&self) -> Vec<ResourceSample> {
+        self.inner.samples.lock().clone()
+    }
+}
+
+/// Stops the background scraper when dropped.
+pub struct ScrapeHandle {
+    inner: Arc<Inner>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for ScrapeHandle {
+    fn drop(&mut self) {
+        self.inner.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hammer_net::{LinkConfig, SimClock};
+
+    fn net() -> SimNetwork {
+        SimNetwork::new(SimClock::with_speedup(1000.0), LinkConfig::ideal())
+    }
+
+    #[test]
+    fn scrape_captures_network_counters() {
+        let net = net();
+        let _a = net.register("a");
+        let _b = net.register("b");
+        net.send("a", "b", vec![0u8; 64]).unwrap();
+        let monitor = ResourceMonitor::new(net);
+        let sample = monitor.scrape();
+        assert_eq!(sample.net_bytes_sent, 64);
+    }
+
+    #[test]
+    fn gauges_shared_by_name() {
+        let monitor = ResourceMonitor::new(net());
+        let g1 = monitor.gauge("blocks");
+        let g2 = monitor.gauge("blocks");
+        g1.add(3);
+        g2.add(2);
+        assert_eq!(monitor.gauge("blocks").value(), 5);
+        let sample = monitor.scrape();
+        assert_eq!(sample.gauges, vec![("blocks".to_owned(), 5)]);
+    }
+
+    #[test]
+    fn gauge_set_overrides() {
+        let monitor = ResourceMonitor::new(net());
+        let g = monitor.gauge("queue_depth");
+        g.set(42);
+        assert_eq!(g.value(), 42);
+        g.set(7);
+        assert_eq!(g.value(), 7);
+    }
+
+    #[test]
+    fn background_scraper_collects_and_stops() {
+        let monitor = ResourceMonitor::new(net());
+        {
+            let _handle = monitor.start_scraping(Duration::from_millis(10));
+            std::thread::sleep(Duration::from_millis(80));
+        } // handle dropped -> scraper stops
+        let n = monitor.samples().len();
+        assert!(n >= 3, "collected {n} samples");
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(monitor.samples().len(), n, "scraper kept running");
+    }
+
+    #[test]
+    fn samples_are_ordered_in_time() {
+        let monitor = ResourceMonitor::new(net());
+        for _ in 0..5 {
+            monitor.scrape();
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let samples = monitor.samples();
+        for pair in samples.windows(2) {
+            assert!(pair[0].at <= pair[1].at);
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Text rendering of evaluation results, standing in for Grafana.
+//!
+//! Two chart types cover everything the paper's figures use: aligned
+//! tables (histogo-style comparisons) and Unicode line/bar charts for time
+//! series. A CSV exporter feeds external plotting.
+
+/// Renders an aligned text table. The first row is the header.
+///
+/// ```
+/// let out = hammer_store::report::render_table(
+///     &["chain", "tps"],
+///     &[vec!["ethereum".into(), "18.6".into()],
+///       vec!["neuchain".into(), "8688".into()]],
+/// );
+/// assert!(out.contains("ethereum"));
+/// ```
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let n_cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(n_cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
+        out.push('|');
+        for (i, w) in widths.iter().enumerate() {
+            let cell = cells.get(i).map(String::as_str).unwrap_or("");
+            out.push(' ');
+            out.push_str(cell);
+            for _ in cell.len()..*w {
+                out.push(' ');
+            }
+            out.push_str(" |");
+        }
+        out.push('\n');
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| (*s).to_owned()).collect();
+    fmt_row(&header_cells, &widths, &mut out);
+    out.push('|');
+    for w in &widths {
+        out.push_str(&"-".repeat(w + 2));
+        out.push('|');
+    }
+    out.push('\n');
+    for row in rows {
+        fmt_row(row, &widths, &mut out);
+    }
+    out
+}
+
+/// Renders a series as a horizontal-bar chart, one row per point:
+/// `label | value | bar`.
+pub fn render_bars(title: &str, points: &[(String, f64)], width: usize) -> String {
+    let max = points
+        .iter()
+        .map(|(_, v)| *v)
+        .fold(0.0f64, f64::max)
+        .max(f64::MIN_POSITIVE);
+    let label_w = points.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = format!("{title}\n");
+    for (label, value) in points {
+        let bar_len = ((value / max) * width as f64).round() as usize;
+        out.push_str(&format!(
+            "{label:<label_w$} {value:>12.2} {}\n",
+            "█".repeat(bar_len)
+        ));
+    }
+    out
+}
+
+/// Renders a numeric series as a compact sparkline-style line chart with a
+/// y-axis legend. `height` rows tall.
+pub fn render_series(title: &str, series: &[f64], height: usize) -> String {
+    if series.is_empty() {
+        return format!("{title}\n(empty series)\n");
+    }
+    let height = height.max(2);
+    let max = series.iter().copied().fold(f64::MIN, f64::max);
+    let min = series.iter().copied().fold(f64::MAX, f64::min);
+    let span = (max - min).max(f64::MIN_POSITIVE);
+    let mut grid = vec![vec![' '; series.len()]; height];
+    for (x, v) in series.iter().enumerate() {
+        let level = (((v - min) / span) * (height as f64 - 1.0)).round() as usize;
+        for (y, row) in grid.iter_mut().enumerate() {
+            if height - 1 - y == level {
+                row[x] = '●';
+            } else if height - 1 - y < level {
+                row[x] = '·';
+            }
+        }
+    }
+    let mut out = format!("{title}  (min={min:.2}, max={max:.2}, n={})\n", series.len());
+    for (y, row) in grid.iter().enumerate() {
+        let axis_val = max - span * (y as f64) / (height as f64 - 1.0);
+        out.push_str(&format!("{axis_val:>10.1} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out
+}
+
+/// Serialises rows as CSV with a header line. Cells containing commas,
+/// quotes or newlines are quoted.
+pub fn to_csv(header: &[&str], rows: &[Vec<String>]) -> String {
+    fn escape(cell: &str) -> String {
+        if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+            format!("\"{}\"", cell.replace('"', "\"\""))
+        } else {
+            cell.to_owned()
+        }
+    }
+    let mut out = header.iter().map(|h| escape(h)).collect::<Vec<_>>().join(",");
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let out = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer-name".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines equal width.
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+        assert!(out.contains("longer-name"));
+    }
+
+    #[test]
+    fn table_handles_short_rows() {
+        let out = render_table(&["a", "b"], &[vec!["only-one".into()]]);
+        assert!(out.contains("only-one"));
+    }
+
+    #[test]
+    fn bars_scale_to_max() {
+        let out = render_bars(
+            "tps",
+            &[("eth".into(), 10.0), ("neu".into(), 100.0)],
+            20,
+        );
+        let eth_bar = out.lines().find(|l| l.starts_with("eth")).unwrap();
+        let neu_bar = out.lines().find(|l| l.starts_with("neu")).unwrap();
+        let count = |s: &str| s.chars().filter(|c| *c == '█').count();
+        assert_eq!(count(neu_bar), 20);
+        assert_eq!(count(eth_bar), 2);
+    }
+
+    #[test]
+    fn series_renders_extremes() {
+        let out = render_series("load", &[0.0, 5.0, 10.0, 5.0, 0.0], 5);
+        assert!(out.contains("max=10.00"));
+        assert!(out.contains("min=0.00"));
+        assert!(out.contains('●'));
+    }
+
+    #[test]
+    fn series_empty() {
+        assert!(render_series("x", &[], 5).contains("empty"));
+    }
+
+    #[test]
+    fn series_constant_values() {
+        // Zero span must not divide by zero.
+        let out = render_series("flat", &[3.0, 3.0, 3.0], 4);
+        assert!(out.contains("min=3.00"));
+    }
+
+    #[test]
+    fn csv_escapes_special_cells() {
+        let out = to_csv(
+            &["k", "v"],
+            &[vec!["a,b".into(), "say \"hi\"".into()]],
+        );
+        assert_eq!(out, "k,v\n\"a,b\",\"say \"\"hi\"\"\"\n");
+    }
+
+    #[test]
+    fn csv_plain_passthrough() {
+        let out = to_csv(&["x"], &[vec!["1".into()], vec!["2".into()]]);
+        assert_eq!(out, "x\n1\n2\n");
+    }
+}

@@ -1,0 +1,312 @@
+//! The JSON workload profile the client parses in the preparation phase
+//! (paper §III-B1, step ①).
+
+use hammer_rpc::json::Value;
+
+/// Which generator produces the payloads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// The SmallBank banking workload (the paper's evaluation workload).
+    SmallBank,
+    /// A YCSB-style key/value workload.
+    Ycsb,
+}
+
+/// How accounts/keys are picked.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum AccessDistribution {
+    /// Uniform over the pool.
+    Uniform,
+    /// Zipfian with the given skew.
+    Zipfian {
+        /// Skew parameter (YCSB default 0.99).
+        theta: f64,
+    },
+}
+
+/// A parsed workload profile.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadConfig {
+    /// Generator to use.
+    pub kind: WorkloadKind,
+    /// Target chain name.
+    pub chain_name: String,
+    /// Target contract name.
+    pub contract_name: String,
+    /// Number of pre-created accounts (the paper seeds 5 000 per shard).
+    pub accounts: usize,
+    /// Fraction of read-only operations in `[0, 1]`.
+    pub read_ratio: f64,
+    /// Account/key selection distribution.
+    pub distribution: AccessDistribution,
+    /// Total transactions to generate.
+    pub total_txs: usize,
+    /// Number of workload clients.
+    pub clients: u32,
+    /// Worker threads per client.
+    pub threads_per_client: u32,
+    /// Initial checking balance per seeded account.
+    pub initial_checking: u64,
+    /// Initial savings balance per seeded account.
+    pub initial_savings: u64,
+    /// RNG seed for reproducible generation.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            kind: WorkloadKind::SmallBank,
+            chain_name: "fabric-sim".to_owned(),
+            contract_name: "smallbank".to_owned(),
+            accounts: 5_000,
+            read_ratio: 0.0,
+            distribution: AccessDistribution::Uniform,
+            total_txs: 10_000,
+            clients: 2,
+            threads_per_client: 2,
+            initial_checking: 1_000_000,
+            initial_savings: 1_000_000,
+            seed: 42,
+        }
+    }
+}
+
+/// Configuration parse/validation failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfigError(pub String);
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "workload config error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl WorkloadConfig {
+    /// Validates invariants, returning the first violation.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.accounts == 0 {
+            return Err(ConfigError("accounts must be positive".into()));
+        }
+        if !(0.0..=1.0).contains(&self.read_ratio) {
+            return Err(ConfigError(format!(
+                "read_ratio must be in [0,1], got {}",
+                self.read_ratio
+            )));
+        }
+        if self.clients == 0 || self.threads_per_client == 0 {
+            return Err(ConfigError("clients and threads must be positive".into()));
+        }
+        if let AccessDistribution::Zipfian { theta } = self.distribution {
+            if !theta.is_finite() || theta < 0.0 {
+                return Err(ConfigError(format!("bad zipfian theta {theta}")));
+            }
+        }
+        Ok(())
+    }
+
+    /// Serialises to the JSON profile format.
+    pub fn to_json(&self) -> Value {
+        let dist = match self.distribution {
+            AccessDistribution::Uniform => Value::object([("type", Value::from("uniform"))]),
+            AccessDistribution::Zipfian { theta } => Value::object([
+                ("type", Value::from("zipfian")),
+                ("theta", Value::from(theta)),
+            ]),
+        };
+        Value::object([
+            (
+                "workload",
+                Value::from(match self.kind {
+                    WorkloadKind::SmallBank => "smallbank",
+                    WorkloadKind::Ycsb => "ycsb",
+                }),
+            ),
+            ("chain_name", Value::from(self.chain_name.clone())),
+            ("contract_name", Value::from(self.contract_name.clone())),
+            ("accounts", Value::from(self.accounts)),
+            ("read_ratio", Value::from(self.read_ratio)),
+            ("distribution", dist),
+            ("total_txs", Value::from(self.total_txs)),
+            ("clients", Value::from(self.clients as u64)),
+            ("threads_per_client", Value::from(self.threads_per_client as u64)),
+            ("initial_checking", Value::from(self.initial_checking)),
+            ("initial_savings", Value::from(self.initial_savings)),
+            ("seed", Value::from(self.seed)),
+        ])
+    }
+
+    /// Parses the JSON profile format (missing fields take defaults).
+    pub fn from_json(v: &Value) -> Result<Self, ConfigError> {
+        let defaults = Self::default();
+        let kind = match v.get("workload").and_then(Value::as_str) {
+            Some("smallbank") | None => WorkloadKind::SmallBank,
+            Some("ycsb") => WorkloadKind::Ycsb,
+            Some(other) => return Err(ConfigError(format!("unknown workload '{other}'"))),
+        };
+        let distribution = match v.get("distribution") {
+            None => defaults.distribution,
+            Some(d) => match d.get("type").and_then(Value::as_str) {
+                Some("uniform") | None => AccessDistribution::Uniform,
+                Some("zipfian") => AccessDistribution::Zipfian {
+                    theta: d.get("theta").and_then(Value::as_f64).unwrap_or(0.99),
+                },
+                Some(other) => {
+                    return Err(ConfigError(format!("unknown distribution '{other}'")))
+                }
+            },
+        };
+        let get_u64 =
+            |key: &str, default: u64| v.get(key).and_then(Value::as_u64).unwrap_or(default);
+        let config = WorkloadConfig {
+            kind,
+            chain_name: v
+                .get("chain_name")
+                .and_then(Value::as_str)
+                .unwrap_or(&defaults.chain_name)
+                .to_owned(),
+            contract_name: v
+                .get("contract_name")
+                .and_then(Value::as_str)
+                .unwrap_or(&defaults.contract_name)
+                .to_owned(),
+            accounts: get_u64("accounts", defaults.accounts as u64) as usize,
+            read_ratio: v
+                .get("read_ratio")
+                .and_then(Value::as_f64)
+                .unwrap_or(defaults.read_ratio),
+            distribution,
+            total_txs: get_u64("total_txs", defaults.total_txs as u64) as usize,
+            clients: get_u64("clients", defaults.clients as u64) as u32,
+            threads_per_client: get_u64(
+                "threads_per_client",
+                defaults.threads_per_client as u64,
+            ) as u32,
+            initial_checking: get_u64("initial_checking", defaults.initial_checking),
+            initial_savings: get_u64("initial_savings", defaults.initial_savings),
+            seed: get_u64("seed", defaults.seed),
+        };
+        config.validate()?;
+        Ok(config)
+    }
+
+    /// Parses from JSON text.
+    pub fn parse(text: &str) -> Result<Self, ConfigError> {
+        let v = Value::parse(text).map_err(|e| ConfigError(e.to_string()))?;
+        Self::from_json(&v)
+    }
+
+    /// Persists the profile to a JSON file (the paper's client writes the
+    /// generated workload profile to disk and ships it to the server).
+    pub fn save_to(&self, path: impl AsRef<std::path::Path>) -> Result<(), ConfigError> {
+        std::fs::write(path.as_ref(), self.to_json().to_json())
+            .map_err(|e| ConfigError(format!("cannot write profile: {e}")))
+    }
+
+    /// Loads a profile from a JSON file.
+    pub fn load_from(path: impl AsRef<std::path::Path>) -> Result<Self, ConfigError> {
+        let text = std::fs::read_to_string(path.as_ref())
+            .map_err(|e| ConfigError(format!("cannot read profile: {e}")))?;
+        Self::parse(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        WorkloadConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn roundtrip_through_json() {
+        let config = WorkloadConfig {
+            kind: WorkloadKind::Ycsb,
+            read_ratio: 0.5,
+            distribution: AccessDistribution::Zipfian { theta: 0.99 },
+            ..WorkloadConfig::default()
+        };
+        let text = config.to_json().to_json();
+        let parsed = WorkloadConfig::parse(&text).unwrap();
+        assert_eq!(parsed, config);
+    }
+
+    #[test]
+    fn missing_fields_take_defaults() {
+        let parsed = WorkloadConfig::parse(r#"{"workload": "smallbank"}"#).unwrap();
+        assert_eq!(parsed, WorkloadConfig::default());
+    }
+
+    #[test]
+    fn rejects_unknown_workload() {
+        assert!(WorkloadConfig::parse(r#"{"workload": "tpcc"}"#).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_read_ratio() {
+        let config = WorkloadConfig {
+            read_ratio: 1.5,
+            ..WorkloadConfig::default()
+        };
+        assert!(config.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_zero_accounts() {
+        let config = WorkloadConfig {
+            accounts: 0,
+            ..WorkloadConfig::default()
+        };
+        assert!(config.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_zero_clients() {
+        let config = WorkloadConfig {
+            clients: 0,
+            ..WorkloadConfig::default()
+        };
+        assert!(config.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_invalid_json() {
+        assert!(WorkloadConfig::parse("{nope").is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let config = WorkloadConfig {
+            kind: WorkloadKind::Ycsb,
+            read_ratio: 0.95,
+            seed: 777,
+            ..WorkloadConfig::default()
+        };
+        let dir = std::env::temp_dir().join("hammer-config-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("profile.json");
+        config.save_to(&path).unwrap();
+        let loaded = WorkloadConfig::load_from(&path).unwrap();
+        assert_eq!(loaded, config);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_from_missing_file_errors() {
+        assert!(WorkloadConfig::load_from("/definitely/not/here.json").is_err());
+    }
+
+    #[test]
+    fn zipfian_default_theta() {
+        let parsed =
+            WorkloadConfig::parse(r#"{"distribution": {"type": "zipfian"}}"#).unwrap();
+        assert_eq!(
+            parsed.distribution,
+            AccessDistribution::Zipfian { theta: 0.99 }
+        );
+    }
+}

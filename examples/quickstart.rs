@@ -1,0 +1,52 @@
+//! Quickstart: deploy a simulated blockchain, run a SmallBank evaluation,
+//! and print the report — the whole Fig. 3 flow in ~30 lines.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use std::time::Duration;
+
+use hammer::core::deploy::{ChainSpec, Deployment};
+use hammer::core::driver::{EvalConfig, Evaluation};
+use hammer::workload::{ControlSequence, WorkloadConfig};
+
+fn main() {
+    // 1. Preparation: bring up the SUT (Ansible role). The clock runs
+    //    200x faster than wall time; all configured delays keep their
+    //    ratios.
+    let deployment = Deployment::up(ChainSpec::neuchain_default(), 200.0);
+
+    // 2. Describe the workload: SmallBank over 1 000 accounts, submitted
+    //    by 2 clients x 2 threads (the paper's sweet spot).
+    let workload = WorkloadConfig {
+        accounts: 1_000,
+        clients: 2,
+        threads_per_client: 2,
+        chain_name: "neuchain-sim".to_owned(),
+        ..WorkloadConfig::default()
+    };
+
+    // 3. Shape the load with a control sequence: 10 simulated seconds
+    //    ramping from 100 to 600 transactions per second.
+    let control = ControlSequence::ramp(100, 600, 10, Duration::from_secs(1));
+
+    // 4. Execute and report.
+    let report = Evaluation::new(EvalConfig::default())
+        .run(&deployment, &workload, &control)
+        .expect("evaluation failed");
+
+    println!("chain        : {}", report.chain);
+    println!("submitted    : {}", report.submitted);
+    println!("committed    : {}", report.committed);
+    println!("failed       : {}", report.failed);
+    println!("timed out    : {}", report.timed_out);
+    println!("throughput   : {:.1} TPS", report.overall_tps);
+    println!(
+        "latency      : mean {:.3}s / p95 {:.3}s / p99 {:.3}s",
+        report.latency.mean_s, report.latency.p95_s, report.latency.p99_s
+    );
+    println!("sim duration : {:.1}s", report.sim_duration.as_secs_f64());
+    println!("wall time    : {:.2}s", report.wall_time.as_secs_f64());
+    println!("\nper-second committed series: {:?}", report.tps_series);
+}

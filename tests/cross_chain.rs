@@ -1,0 +1,113 @@
+//! One driver, four architectures: the generic-interface claim as an
+//! integration test. Every simulated chain must complete the same
+//! SmallBank evaluation with internally consistent reports.
+
+use std::time::Duration;
+
+use hammer::core::deploy::{ChainSpec, Deployment};
+use hammer::core::driver::{EvalConfig, EvalReport, Evaluation};
+use hammer::core::machine::ClientMachine;
+use hammer::ethereum::EthereumConfig;
+use hammer::workload::{ControlSequence, WorkloadConfig};
+use parking_lot::Mutex;
+
+/// Chain simulations are timing-sensitive; on small CI hosts running them
+/// concurrently within one test binary starves the simulator threads, so
+/// the tests serialise on this guard.
+static GUARD: Mutex<()> = Mutex::new(());
+
+fn run_chain(spec: ChainSpec, rate: u32, seconds: usize, speedup: f64) -> EvalReport {
+    let name = spec.name().to_owned();
+    let deployment = Deployment::up(spec, speedup);
+    let workload = WorkloadConfig {
+        accounts: 1_000,
+        clients: 2,
+        threads_per_client: 2,
+        chain_name: name,
+        ..WorkloadConfig::default()
+    };
+    let control = ControlSequence::constant(rate, seconds, Duration::from_secs(1));
+    let config = EvalConfig {
+        machine: ClientMachine::unconstrained(),
+        drain_timeout: Duration::from_secs(200),
+        ..EvalConfig::default()
+    };
+    Evaluation::new(config)
+        .run(&deployment, &workload, &control)
+        .expect("evaluation failed")
+}
+
+fn assert_consistent(report: &EvalReport, expected_total: u64) {
+    assert_eq!(
+        report.submitted + report.rejected,
+        expected_total,
+        "{}: submissions accounted for",
+        report.chain
+    );
+    assert_eq!(
+        (report.committed + report.failed + report.timed_out) as u64,
+        expected_total,
+        "{}: every record classified",
+        report.chain
+    );
+    assert!(report.overall_tps > 0.0, "{}: no throughput", report.chain);
+    assert!(report.latency.count > 0, "{}: no latencies", report.chain);
+}
+
+#[test]
+fn fabric_completes_the_common_workload() {
+    let _guard = GUARD.lock();
+    let report = run_chain(ChainSpec::fabric_default(), 100, 6, 400.0);
+    assert_consistent(&report, 600);
+    assert!(report.committed > 500, "committed = {}", report.committed);
+}
+
+#[test]
+fn neuchain_completes_the_common_workload() {
+    let _guard = GUARD.lock();
+    let report = run_chain(ChainSpec::neuchain_default(), 100, 6, 400.0);
+    assert_consistent(&report, 600);
+    assert!(report.committed > 550, "committed = {}", report.committed);
+    // Deterministic ordering commits within roughly an epoch.
+    assert!(
+        report.latency.mean_s < 1.0,
+        "neuchain latency {:.3}s",
+        report.latency.mean_s
+    );
+}
+
+#[test]
+fn meepo_completes_the_common_workload_across_shards() {
+    let _guard = GUARD.lock();
+    let report = run_chain(ChainSpec::meepo_default(), 100, 6, 400.0);
+    assert_consistent(&report, 600);
+    assert!(report.committed > 550, "committed = {}", report.committed);
+}
+
+#[test]
+fn ethereum_commits_with_short_private_blocks() {
+    let _guard = GUARD.lock();
+    // A short-block private net so the test stays fast.
+    let spec = ChainSpec::Ethereum(EthereumConfig {
+        block_interval: Duration::from_secs(2),
+        ..EthereumConfig::default()
+    });
+    let report = run_chain(spec, 15, 8, 400.0);
+    assert_consistent(&report, 120);
+    assert!(report.committed > 100, "committed = {}", report.committed);
+}
+
+#[test]
+fn relative_latency_ordering_holds() {
+    let _guard = GUARD.lock();
+    // The paper's headline shape at miniature scale: Neuchain commits
+    // faster than Meepo (epoch 0.1s vs 0.8s block time).
+    let neuchain = run_chain(ChainSpec::neuchain_default(), 80, 5, 400.0);
+    let meepo = run_chain(ChainSpec::meepo_default(), 80, 5, 400.0);
+    assert!(
+        neuchain.latency.mean_s < meepo.latency.mean_s,
+        "neuchain {:.3}s !< meepo {:.3}s",
+        neuchain.latency.mean_s,
+        meepo.latency.mean_s
+    );
+}
