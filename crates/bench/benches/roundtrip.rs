@@ -1,0 +1,153 @@
+//! Criterion microbench for the transaction hot path: sign → encode →
+//! decode → verify, plus the primitive pairs the speedups come from —
+//! windowed fixed-base modexp vs. generic square-and-multiply, batch vs.
+//! per-signature verification, and buffer-reusing vs. allocating codecs.
+//!
+//! `scripts/bench_snapshot.sh` runs this group with `CRITERION_JSON` set
+//! and checks the fixed-base speedup against its ≥3× floor.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use hammer_chain::codec;
+use hammer_chain::smallbank::Op;
+use hammer_chain::types::{verify_signed_batch, SignedTransaction, Transaction};
+use hammer_crypto::sig::{pow_g, pow_mod, SigParams, G, GROUP_ORDER};
+use hammer_crypto::Keypair;
+use hammer_rpc::json::Value;
+use hammer_rpc::transport::RpcServer;
+
+fn sample_tx(nonce: u64) -> Transaction {
+    Transaction {
+        client_id: (nonce % 16) as u32,
+        server_id: 0,
+        nonce,
+        op: Op::KvPut {
+            key: nonce,
+            value: nonce * 7,
+        },
+        chain_name: "bench".to_owned(),
+        contract_name: "smallbank".to_owned(),
+    }
+}
+
+fn signed_burst(n: u64, keypair: &Keypair, params: &SigParams) -> Vec<SignedTransaction> {
+    let mut buf = Vec::with_capacity(64);
+    (0..n)
+        .map(|i| sample_tx(i).sign_with_buf(keypair, params, &mut buf))
+        .collect()
+}
+
+/// Fixed-base vs. generic modexp — the primitive behind the signing
+/// speedup. Both sides run the same exponent set.
+fn bench_modexp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("roundtrip");
+    let exps: Vec<u64> = (1..=64u64)
+        .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15) % GROUP_ORDER)
+        .collect();
+    group.throughput(Throughput::Elements(exps.len() as u64));
+    group.bench_function("modexp_generic", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &e in &exps {
+                acc ^= pow_mod(G, black_box(e));
+            }
+            acc
+        });
+    });
+    group.bench_function("modexp_fixed_base", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &e in &exps {
+                acc ^= pow_g(black_box(e));
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
+/// The four stages of the transaction round trip, each on the
+/// buffer-reusing hot path, with the allocating encode kept as the
+/// before-side comparison.
+fn bench_stages(c: &mut Criterion) {
+    let mut group = c.benchmark_group("roundtrip");
+    let params = SigParams::fast();
+    let keypair = Keypair::from_seed(1);
+    let tx = sample_tx(42);
+    let signed = {
+        let mut buf = Vec::with_capacity(64);
+        tx.clone().sign_with_buf(&keypair, &params, &mut buf)
+    };
+    let mut wire = String::new();
+    codec::encode_signed_tx_into(&signed, &mut wire);
+
+    group.bench_function("sign", |b| {
+        let mut buf = Vec::with_capacity(64);
+        b.iter(|| tx.clone().sign_with_buf(&keypair, &params, &mut buf));
+    });
+    group.bench_function("encode", |b| {
+        let mut out = String::with_capacity(wire.len());
+        b.iter(|| {
+            out.clear();
+            codec::encode_signed_tx_into(&signed, &mut out);
+            out.len()
+        });
+    });
+    group.bench_function("encode_alloc", |b| {
+        b.iter(|| codec::encode_signed_tx(&signed).to_json().len());
+    });
+    group.bench_function("decode", |b| {
+        b.iter(|| codec::decode_signed_tx_bytes(wire.as_bytes()).expect("valid wire text"));
+    });
+    group.bench_function("verify", |b| {
+        b.iter(|| signed.verify(&params));
+    });
+    group.finish();
+}
+
+/// Batch vs. per-signature verification on a block-sized burst under one
+/// key — the shape the chain simulators hand to `verify_signed_batch`.
+fn bench_verify_burst(c: &mut Criterion) {
+    let mut group = c.benchmark_group("roundtrip");
+    let params = SigParams::fast();
+    let keypair = Keypair::from_seed(1);
+    let n = 64u64;
+    let burst = signed_burst(n, &keypair, &params);
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("verify_each64", |b| {
+        b.iter(|| burst.iter().filter(|tx| tx.verify(&params)).count());
+    });
+    group.bench_function("verify_batch64", |b| {
+        b.iter(|| {
+            verify_signed_batch(&burst, &params)
+                .into_iter()
+                .filter(|ok| *ok)
+                .count()
+        });
+    });
+    group.finish();
+}
+
+/// A full JSON-RPC call through the thread-local wire buffers.
+fn bench_rpc_call(c: &mut Criterion) {
+    let mut group = c.benchmark_group("roundtrip");
+    let server = RpcServer::new("bench");
+    server.register("echo", Ok);
+    let client = server.client();
+    group.bench_function("rpc_call", |b| {
+        b.iter(|| {
+            client
+                .call("echo", Value::from(12345))
+                .expect("echo succeeds")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_modexp,
+    bench_stages,
+    bench_verify_burst,
+    bench_rpc_call
+);
+criterion_main!(benches);

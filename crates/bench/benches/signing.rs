@@ -49,7 +49,10 @@ fn bench_signing(c: &mut Criterion) {
 fn bench_single_ops(c: &mut Criterion) {
     let mut group = c.benchmark_group("signature_ops");
     let keypair = Keypair::from_seed(1);
-    for (label, params) in [("fast", SigParams::fast()), ("realistic", SigParams::realistic())] {
+    for (label, params) in [
+        ("fast", SigParams::fast()),
+        ("realistic", SigParams::realistic()),
+    ] {
         let sig = keypair.sign(b"message", &params);
         group.bench_function(BenchmarkId::new("sign", label), |b| {
             b.iter(|| keypair.sign(b"message", &params));

@@ -34,8 +34,7 @@ fn main() {
             spec.mode = mode;
             spec.accounts = 20_000;
             spec.speedup = 100.0;
-            let deployment =
-                hammer_core::deploy::Deployment::up(spec.chain.clone(), spec.speedup);
+            let deployment = hammer_core::deploy::Deployment::up(spec.chain.clone(), spec.speedup);
             let workload = hammer_workload::WorkloadConfig {
                 accounts: spec.accounts,
                 clients: spec.clients,

@@ -15,9 +15,9 @@ use std::time::Duration;
 
 use hammer_chain::types::TxStatus;
 use hammer_core::deploy::{ChainSpec, Deployment};
-use hammer_fabric::FabricConfig;
 use hammer_core::driver::{EvalConfig, Evaluation};
 use hammer_core::machine::ClientMachine;
+use hammer_fabric::FabricConfig;
 use hammer_workload::{ControlSequence, WorkloadConfig};
 
 fn main() {
@@ -76,7 +76,10 @@ fn main() {
             assert!(!duplicate, "tx {tx_id} appears twice on the ledger");
         }
     }
-    println!("ledger: {height} blocks, {} transactions", ledger_status.len());
+    println!(
+        "ledger: {height} blocks, {} transactions",
+        ledger_status.len()
+    );
 
     // Cross-check every driver record against the ledger.
     let mut mismatches = 0usize;
@@ -100,7 +103,10 @@ fn main() {
         }
     }
 
-    println!("cross-check: {mismatches} mismatches across {} records", report.records.len());
+    println!(
+        "cross-check: {mismatches} mismatches across {} records",
+        report.records.len()
+    );
     assert_eq!(mismatches, 0, "driver statistics diverge from node logs");
     println!("\nPASS: driver statistics match the node-side ground truth exactly.");
 }

@@ -25,17 +25,22 @@ fn main() {
         model.fit(&dataset.train, &config);
 
         // Seed with the last training window, then generate the test span.
-        let seed: Vec<f64> =
-            dataset.train[dataset.train.len() - config.window..].to_vec();
+        let seed: Vec<f64> = dataset.train[dataset.train.len() - config.window..].to_vec();
         let horizon = series.len() - dataset.train.len();
-        let generated =
-            generate_denormalized(&mut model, &seed, horizon, &dataset.normalizer);
+        let generated = generate_denormalized(&mut model, &seed, horizon, &dataset.normalizer);
         let real = &series[dataset.train.len()..];
 
-        println!("{}", render_series(&format!("{} — real (test span)", kind.name()), real, 8));
         println!(
             "{}",
-            render_series(&format!("{} — generated (rollout)", kind.name()), &generated, 8)
+            render_series(&format!("{} — real (test span)", kind.name()), real, 8)
+        );
+        println!(
+            "{}",
+            render_series(
+                &format!("{} — generated (rollout)", kind.name()),
+                &generated,
+                8
+            )
         );
 
         let mae: f64 = real

@@ -33,7 +33,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["application", "paper_total", "total", "mean/h", "cv", "peak/mean"],
+            &[
+                "application",
+                "paper_total",
+                "total",
+                "mean/h",
+                "cv",
+                "peak/mean"
+            ],
             &rows
         )
     );

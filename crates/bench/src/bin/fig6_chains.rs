@@ -52,7 +52,10 @@ fn main() {
         spec.accounts = 30_000;
         let report = spec.run();
         if report.per_shard_committed.len() > 1 {
-            eprintln!("  shard-aware load report: {:?}", report.per_shard_committed);
+            eprintln!(
+                "  shard-aware load report: {:?}",
+                report.per_shard_committed
+            );
         }
         tps_points.push((name.clone(), report.overall_tps));
         lat_points.push((name.clone(), report.latency.mean_s));
@@ -61,7 +64,10 @@ fn main() {
 
     println!("{}", render_table(&summary_header(), &rows));
     println!("{}", render_bars("Peak throughput (TPS)", &tps_points, 50));
-    println!("{}", render_bars("Mean commit latency (s)", &lat_points, 50));
+    println!(
+        "{}",
+        render_bars("Mean commit latency (s)", &lat_points, 50)
+    );
 
     save_csv("fig6_chains", &to_csv(&summary_header(), &rows));
 

@@ -58,7 +58,11 @@ fn main() {
             // 2-vCPU client) and a 500-event buffer.
             spec.listen_cost = std::time::Duration::from_millis(4);
             spec.event_buffer = 500;
-            spec.speedup = if chain_name == "ethereum" { 400.0 } else { 100.0 };
+            spec.speedup = if chain_name == "ethereum" {
+                400.0
+            } else {
+                100.0
+            };
             let report = spec.run();
             let label = format!("{}/{}", chain_name, mode_label(mode));
             chart.push((label, report.overall_tps));
@@ -73,9 +77,19 @@ fn main() {
         }
     }
 
-    let header = ["chain", "framework", "tps", "mean_lat_s", "committed", "timed_out"];
+    let header = [
+        "chain",
+        "framework",
+        "tps",
+        "mean_lat_s",
+        "committed",
+        "timed_out",
+    ];
     println!("{}", render_table(&header, &rows));
-    println!("{}", render_bars("Measured peak TPS by framework", &chart, 50));
+    println!(
+        "{}",
+        render_bars("Measured peak TPS by framework", &chart, 50)
+    );
     save_csv("fig7_frameworks", &to_csv(&header, &rows));
 
     println!("Paper reference: all frameworks agree on Ethereum (~18 TPS);");

@@ -90,7 +90,12 @@ impl CostMeter {
     }
 }
 
-fn sign_one(meter: &mut CostMeter, tx: Transaction, kp: &Keypair, params: &SigParams) -> SignedTransaction {
+fn sign_one(
+    meter: &mut CostMeter,
+    tx: Transaction,
+    kp: &Keypair,
+    params: &SigParams,
+) -> SignedTransaction {
     meter.charge(SIGN_COST);
     tx.sign(kp, params)
 }
@@ -100,7 +105,12 @@ fn consume(meter: &mut CostMeter, _tx: &SignedTransaction) {
 }
 
 /// Serial baseline: sign all, then consume all, on one thread.
-fn serial_makespan(clock: &SimClock, batch: Vec<Transaction>, kp: &Keypair, p: &SigParams) -> Duration {
+fn serial_makespan(
+    clock: &SimClock,
+    batch: Vec<Transaction>,
+    kp: &Keypair,
+    p: &SigParams,
+) -> Duration {
     let start = clock.now();
     let mut meter = CostMeter::new(clock);
     let signed: Vec<SignedTransaction> = batch
@@ -115,7 +125,12 @@ fn serial_makespan(clock: &SimClock, batch: Vec<Transaction>, kp: &Keypair, p: &
 }
 
 /// Async signatures: a pool signs concurrently; execution waits for all.
-fn async_makespan(clock: &SimClock, batch: Vec<Transaction>, kp: &Keypair, p: &SigParams) -> Duration {
+fn async_makespan(
+    clock: &SimClock,
+    batch: Vec<Transaction>,
+    kp: &Keypair,
+    p: &SigParams,
+) -> Duration {
     let start = clock.now();
     let signed = pooled_sign(clock, batch, kp, p, None);
     let mut meter = CostMeter::new(clock);
@@ -127,7 +142,12 @@ fn async_makespan(clock: &SimClock, batch: Vec<Transaction>, kp: &Keypair, p: &S
 }
 
 /// Async + pipeline: the consumer drains a channel while the pool signs.
-fn pipeline_makespan(clock: &SimClock, batch: Vec<Transaction>, kp: &Keypair, p: &SigParams) -> Duration {
+fn pipeline_makespan(
+    clock: &SimClock,
+    batch: Vec<Transaction>,
+    kp: &Keypair,
+    p: &SigParams,
+) -> Duration {
     let start = clock.now();
     let (out_tx, out_rx) = bounded::<SignedTransaction>(4096);
     std::thread::scope(|scope| {

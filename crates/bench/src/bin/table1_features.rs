@@ -17,15 +17,78 @@ fn main() {
         "testing method",
     ];
     let rows: Vec<Vec<String>> = [
-        ["Blockbench", "Permissioned", "Rust, Go", "Non-sharding", "Synthetic", "Batch"],
-        ["Blockbench v3", "Permissioned", "Rust, Go", "Non-sharding", "Real", "Batch"],
-        ["Caliper", "Permissioned", "Java, C++, Go", "Non-sharding", "Self-defined", "Interactive"],
-        ["Bctmark", "Permissioned", "Go", "Non-sharding", "Synthetic", "Interactive"],
-        ["Diablo-v2", "Permissioned", "Move, Go", "Non-sharding", "Real", "Interactive"],
-        ["HyperledgerLab", "Permissioned", "Go", "Non-sharding", "Real", "Interactive"],
-        ["Gromit", "Permissioned", "Go, C++, Rust, Move", "Non-sharding", "Synthetic", "Interactive"],
-        ["BlockCompass", "Permissioned", "Go, Python", "Non-sharding", "Self-defined", "Interactive"],
-        ["DLPS", "Permissioned", "Go, Python, Rust", "Non-sharding", "Synthetic", "Interactive"],
+        [
+            "Blockbench",
+            "Permissioned",
+            "Rust, Go",
+            "Non-sharding",
+            "Synthetic",
+            "Batch",
+        ],
+        [
+            "Blockbench v3",
+            "Permissioned",
+            "Rust, Go",
+            "Non-sharding",
+            "Real",
+            "Batch",
+        ],
+        [
+            "Caliper",
+            "Permissioned",
+            "Java, C++, Go",
+            "Non-sharding",
+            "Self-defined",
+            "Interactive",
+        ],
+        [
+            "Bctmark",
+            "Permissioned",
+            "Go",
+            "Non-sharding",
+            "Synthetic",
+            "Interactive",
+        ],
+        [
+            "Diablo-v2",
+            "Permissioned",
+            "Move, Go",
+            "Non-sharding",
+            "Real",
+            "Interactive",
+        ],
+        [
+            "HyperledgerLab",
+            "Permissioned",
+            "Go",
+            "Non-sharding",
+            "Real",
+            "Interactive",
+        ],
+        [
+            "Gromit",
+            "Permissioned",
+            "Go, C++, Rust, Move",
+            "Non-sharding",
+            "Synthetic",
+            "Interactive",
+        ],
+        [
+            "BlockCompass",
+            "Permissioned",
+            "Go, Python",
+            "Non-sharding",
+            "Self-defined",
+            "Interactive",
+        ],
+        [
+            "DLPS",
+            "Permissioned",
+            "Go, Python, Rust",
+            "Non-sharding",
+            "Synthetic",
+            "Interactive",
+        ],
         [
             "Hammer (ours)",
             "Permissioned+less",

@@ -51,7 +51,15 @@ fn main() {
         }
     }
 
-    let header = ["dataset", "method", "MAE", "MSE", "RMSE", "R2", "train_loss"];
+    let header = [
+        "dataset",
+        "method",
+        "MAE",
+        "MSE",
+        "RMSE",
+        "R2",
+        "train_loss",
+    ];
     println!("{}", render_table(&header, &rows));
     save_csv("table3_models", &to_csv(&header, &rows));
 

@@ -71,8 +71,7 @@ impl RunSpec {
             chain_name: self.chain.name().to_owned(),
             ..WorkloadConfig::default()
         };
-        let control =
-            ControlSequence::constant(self.rate, self.seconds, Duration::from_secs(1));
+        let control = ControlSequence::constant(self.rate, self.seconds, Duration::from_secs(1));
         let config = EvalConfig {
             mode: self.mode,
             machine: self.machine,
@@ -106,7 +105,14 @@ pub fn summary_row(report: &EvalReport) -> Vec<String> {
 /// The header matching [`summary_row`].
 pub fn summary_header() -> [&'static str; 8] {
     [
-        "chain", "tps", "mean_lat_s", "p95_lat_s", "committed", "failed", "timed_out", "rejected",
+        "chain",
+        "tps",
+        "mean_lat_s",
+        "p95_lat_s",
+        "committed",
+        "failed",
+        "timed_out",
+        "rejected",
     ]
 }
 

@@ -132,6 +132,8 @@ mod tests {
             "transaction rejected: mempool is full"
         );
         assert_eq!(ChainError::UnknownShard(3).to_string(), "unknown shard 3");
-        assert!(ChainError::Transport("boom".into()).to_string().contains("boom"));
+        assert!(ChainError::Transport("boom".into())
+            .to_string()
+            .contains("boom"));
     }
 }

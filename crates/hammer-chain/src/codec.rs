@@ -42,7 +42,6 @@ fn str_field<'a>(v: &'a Value, key: &str) -> Result<&'a str, CodecError> {
         .ok_or_else(|| CodecError(format!("field '{key}' is not a string")))
 }
 
-
 /// 64-bit ids (addresses, keys, public keys) are encoded as decimal strings:
 /// JSON numbers lose precision beyond 2^53.
 fn encode_u64s(v: u64) -> Value {
@@ -103,10 +102,9 @@ pub fn encode_op(op: &Op) -> Value {
             ("key", encode_u64s(key)),
             ("value", Value::from(value)),
         ]),
-        Op::KvGet { key } => Value::object([
-            ("type", Value::from("kv_get")),
-            ("key", encode_u64s(key)),
-        ]),
+        Op::KvGet { key } => {
+            Value::object([("type", Value::from("kv_get")), ("key", encode_u64s(key))])
+        }
     }
 }
 
@@ -181,8 +179,8 @@ pub fn decode_signed_tx(v: &Value) -> Result<SignedTransaction, CodecError> {
         chain_name: str_field(v, "chain_name")?.to_owned(),
         contract_name: str_field(v, "contract_name")?.to_owned(),
     };
-    let id_bytes = from_hex(str_field(v, "id")?)
-        .ok_or_else(|| CodecError("bad hex in 'id'".to_owned()))?;
+    let id_bytes =
+        from_hex(str_field(v, "id")?).ok_or_else(|| CodecError("bad hex in 'id'".to_owned()))?;
     let id_arr: [u8; 32] = id_bytes
         .try_into()
         .map_err(|_| CodecError("'id' must be 32 bytes".to_owned()))?;
@@ -190,8 +188,8 @@ pub fn decode_signed_tx(v: &Value) -> Result<SignedTransaction, CodecError> {
     if tx.id() != id {
         return Err(CodecError("transaction id does not match body".to_owned()));
     }
-    let sig_bytes = from_hex(str_field(v, "sig")?)
-        .ok_or_else(|| CodecError("bad hex in 'sig'".to_owned()))?;
+    let sig_bytes =
+        from_hex(str_field(v, "sig")?).ok_or_else(|| CodecError("bad hex in 'sig'".to_owned()))?;
     let sig_arr: [u8; 16] = sig_bytes
         .try_into()
         .map_err(|_| CodecError("'sig' must be 16 bytes".to_owned()))?;
@@ -207,12 +205,29 @@ pub fn decode_signed_tx(v: &Value) -> Result<SignedTransaction, CodecError> {
     })
 }
 
+/// Encodes a signed transaction straight to JSON text, appending to a
+/// caller-supplied reusable buffer (the submission hot path clears and
+/// reuses one buffer per thread).
+pub fn encode_signed_tx_into(tx: &SignedTransaction, out: &mut String) {
+    encode_signed_tx(tx).to_json_into(out);
+}
+
+/// Decodes a signed transaction from raw JSON bytes (e.g. a reused
+/// transport receive buffer).
+pub fn decode_signed_tx_bytes(bytes: &[u8]) -> Result<SignedTransaction, CodecError> {
+    let v = Value::parse_bytes(bytes).map_err(|e| CodecError(format!("bad JSON: {e}")))?;
+    decode_signed_tx(&v)
+}
+
 /// Encodes a block (ids + validity + header).
 pub fn encode_block(block: &Block) -> Value {
     Value::object([
         ("height", Value::from(block.header.height)),
         ("prev_hash", Value::from(to_hex(&block.header.prev_hash))),
-        ("merkle_root", Value::from(to_hex(&block.header.merkle_root))),
+        (
+            "merkle_root",
+            Value::from(to_hex(&block.header.merkle_root)),
+        ),
         (
             "timestamp_ns",
             Value::from(block.header.timestamp.as_nanos() as u64),
@@ -234,6 +249,17 @@ pub fn encode_block(block: &Block) -> Value {
             Value::Array(block.valid.iter().map(|b| Value::Bool(*b)).collect()),
         ),
     ])
+}
+
+/// Encodes a block straight to JSON text, appending to a reusable buffer.
+pub fn encode_block_into(block: &Block, out: &mut String) {
+    encode_block(block).to_json_into(out);
+}
+
+/// Decodes a block from raw JSON bytes and verifies its Merkle root.
+pub fn decode_block_bytes(bytes: &[u8]) -> Result<Block, CodecError> {
+    let v = Value::parse_bytes(bytes).map_err(|e| CodecError(format!("bad JSON: {e}")))?;
+    decode_block(&v)
 }
 
 /// Decodes a block and verifies its Merkle root.
@@ -272,7 +298,9 @@ pub fn decode_block(v: &Value) -> Result<Block, CodecError> {
         .collect();
     let valid = valid?;
     if valid.len() != tx_ids.len() {
-        return Err(CodecError("'valid' and 'tx_ids' length mismatch".to_owned()));
+        return Err(CodecError(
+            "'valid' and 'tx_ids' length mismatch".to_owned(),
+        ));
     }
     let block = Block {
         header: crate::types::BlockHeader {
@@ -303,12 +331,29 @@ mod tests {
         let a = Address::from_name("a");
         let b = Address::from_name("b");
         vec![
-            Op::CreateAccount { account: a, checking: 1, savings: 2 },
-            Op::DepositChecking { account: a, amount: 3 },
-            Op::WriteCheck { account: a, amount: 4 },
-            Op::SendPayment { from: a, to: b, amount: 5 },
+            Op::CreateAccount {
+                account: a,
+                checking: 1,
+                savings: 2,
+            },
+            Op::DepositChecking {
+                account: a,
+                amount: 3,
+            },
+            Op::WriteCheck {
+                account: a,
+                amount: 4,
+            },
+            Op::SendPayment {
+                from: a,
+                to: b,
+                amount: 5,
+            },
             Op::Amalgamate { from: a, to: b },
-            Op::TransactSavings { account: a, amount: 6 },
+            Op::TransactSavings {
+                account: a,
+                amount: 6,
+            },
             Op::Balance { account: a },
             Op::KvPut { key: 7, value: 8 },
             Op::KvGet { key: 9 },
@@ -351,6 +396,40 @@ mod tests {
         let decoded = decode_signed_tx(&reparsed).unwrap();
         assert_eq!(decoded, signed);
         assert!(decoded.verify(&SigParams::fast()));
+    }
+
+    #[test]
+    fn signed_tx_text_roundtrip_with_reused_buffer() {
+        let params = SigParams::fast();
+        let kp = Keypair::from_seed(2);
+        let mut buf = String::new();
+        for nonce in 0..4u64 {
+            let tx = Transaction {
+                client_id: 1,
+                server_id: 0,
+                nonce,
+                op: Op::KvPut {
+                    key: nonce,
+                    value: nonce,
+                },
+                chain_name: "c".to_owned(),
+                contract_name: "k".to_owned(),
+            };
+            let signed = tx.sign(&kp, &params);
+            buf.clear();
+            encode_signed_tx_into(&signed, &mut buf);
+            assert_eq!(decode_signed_tx_bytes(buf.as_bytes()).unwrap(), signed);
+        }
+    }
+
+    #[test]
+    fn block_text_roundtrip_with_reused_buffer() {
+        let block = Block::new(3, [2u8; 32], Duration::from_secs(1), "n", 1, vec![], vec![]);
+        let mut buf = String::from("stale contents");
+        buf.clear();
+        encode_block_into(&block, &mut buf);
+        assert_eq!(decode_block_bytes(buf.as_bytes()).unwrap(), block);
+        assert!(decode_block_bytes(b"{").is_err());
     }
 
     #[test]

@@ -171,7 +171,10 @@ mod tests {
             client_id: 0,
             server_id: 0,
             nonce,
-            op: Op::KvPut { key: nonce, value: 0 },
+            op: Op::KvPut {
+                key: nonce,
+                value: 0,
+            },
             chain_name: "t".to_owned(),
             contract_name: "kv".to_owned(),
         }
@@ -212,7 +215,10 @@ mod tests {
         b.header.height = 5;
         assert!(matches!(
             ledger.append(b),
-            Err(LedgerError::HeightMismatch { expected: 1, got: 5 })
+            Err(LedgerError::HeightMismatch {
+                expected: 1,
+                got: 5
+            })
         ));
     }
 

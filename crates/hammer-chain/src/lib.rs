@@ -40,4 +40,6 @@ pub use ledger::Ledger;
 pub use mempool::Mempool;
 pub use smallbank::{ExecError, Op, OpOutput};
 pub use state::{RwSet, VersionedState};
-pub use types::{Address, Block, BlockHeader, Receipt, SignedTransaction, Transaction, TxId, TxStatus};
+pub use types::{
+    Address, Block, BlockHeader, Receipt, SignedTransaction, Transaction, TxId, TxStatus,
+};

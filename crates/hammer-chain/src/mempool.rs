@@ -4,7 +4,9 @@ use std::collections::{HashSet, VecDeque};
 
 use parking_lot::Mutex;
 
-use crate::types::{SignedTransaction, TxId};
+use hammer_crypto::sig::SigParams;
+
+use crate::types::{verify_signed_batch, SignedTransaction, TxId};
 
 /// Why a submission was rejected.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -14,6 +16,8 @@ pub enum MempoolError {
     Full,
     /// A transaction with the same id is already pooled.
     Duplicate,
+    /// The transaction failed signature verification at admission.
+    BadSignature,
 }
 
 impl std::fmt::Display for MempoolError {
@@ -21,6 +25,7 @@ impl std::fmt::Display for MempoolError {
         match self {
             MempoolError::Full => write!(f, "mempool is full"),
             MempoolError::Duplicate => write!(f, "duplicate transaction"),
+            MempoolError::BadSignature => write!(f, "invalid signature"),
         }
     }
 }
@@ -103,6 +108,63 @@ impl Mempool {
         Ok(())
     }
 
+    /// Adds a burst of transactions under a single lock acquisition,
+    /// returning one result per input in order.
+    pub fn push_batch(
+        &self,
+        txs: impl IntoIterator<Item = SignedTransaction>,
+    ) -> Vec<Result<(), MempoolError>> {
+        let mut inner = self.inner.lock();
+        txs.into_iter()
+            .map(|tx| {
+                if inner.queue.len() >= self.capacity {
+                    inner.rejected_full += 1;
+                    return Err(MempoolError::Full);
+                }
+                if !inner.ids.insert(tx.id) {
+                    inner.rejected_dup += 1;
+                    return Err(MempoolError::Duplicate);
+                }
+                inner.queue.push_back(tx);
+                inner.accepted += 1;
+                Ok(())
+            })
+            .collect()
+    }
+
+    /// Batch admission with signature checking: the whole burst goes
+    /// through [`verify_signed_batch`] (amortising per-key precomputation
+    /// across a block-sized group of signatures), then the valid
+    /// transactions are admitted under one lock. Returns one result per
+    /// input transaction, in order.
+    pub fn push_verified_batch(
+        &self,
+        txs: Vec<SignedTransaction>,
+        params: &SigParams,
+    ) -> Vec<Result<(), MempoolError>> {
+        let verdicts = verify_signed_batch(&txs, params);
+        let mut inner = self.inner.lock();
+        txs.into_iter()
+            .zip(verdicts)
+            .map(|(tx, sig_ok)| {
+                if !sig_ok {
+                    return Err(MempoolError::BadSignature);
+                }
+                if inner.queue.len() >= self.capacity {
+                    inner.rejected_full += 1;
+                    return Err(MempoolError::Full);
+                }
+                if !inner.ids.insert(tx.id) {
+                    inner.rejected_dup += 1;
+                    return Err(MempoolError::Duplicate);
+                }
+                inner.queue.push_back(tx);
+                inner.accepted += 1;
+                Ok(())
+            })
+            .collect()
+    }
+
     /// Removes and returns up to `max` transactions in FIFO order.
     pub fn drain(&self, max: usize) -> Vec<SignedTransaction> {
         let mut inner = self.inner.lock();
@@ -141,7 +203,10 @@ mod tests {
             client_id: 0,
             server_id: 0,
             nonce,
-            op: Op::KvPut { key: nonce, value: 1 },
+            op: Op::KvPut {
+                key: nonce,
+                value: 1,
+            },
             chain_name: "t".to_owned(),
             contract_name: "kv".to_owned(),
         }
@@ -198,6 +263,39 @@ mod tests {
         assert_eq!(pool.drain(100).len(), 1);
         assert!(pool.is_empty());
         assert_eq!(pool.drain(100).len(), 0);
+    }
+
+    #[test]
+    fn push_batch_single_lock_burst() {
+        let pool = Mempool::new(3);
+        let results = pool.push_batch(vec![signed(1), signed(2), signed(2), signed(3), signed(4)]);
+        assert_eq!(
+            results,
+            vec![
+                Ok(()),
+                Ok(()),
+                Err(MempoolError::Duplicate),
+                Ok(()),
+                Err(MempoolError::Full),
+            ]
+        );
+        assert_eq!(pool.len(), 3);
+    }
+
+    #[test]
+    fn push_verified_batch_rejects_bad_signatures() {
+        let pool = Mempool::new(10);
+        let mut bad = signed(2);
+        bad.signature.s ^= 1;
+        let results = pool.push_verified_batch(vec![signed(1), bad, signed(3)], &SigParams::fast());
+        assert_eq!(
+            results,
+            vec![Ok(()), Err(MempoolError::BadSignature), Ok(())]
+        );
+        assert_eq!(pool.len(), 2);
+        let drained = pool.drain_all();
+        assert_eq!(drained[0].tx.nonce, 1);
+        assert_eq!(drained[1].tx.nonce, 3);
     }
 
     #[test]

@@ -36,7 +36,9 @@ fn chain_error_to_rpc(err: ChainError) -> RpcError {
         ChainError::Rejected(MempoolError::Duplicate) => {
             RpcError::application(codes::REJECTED_DUP, "duplicate transaction")
         }
-        ChainError::BadSignature => RpcError::application(codes::BAD_SIGNATURE, "bad signature"),
+        ChainError::Rejected(MempoolError::BadSignature) | ChainError::BadSignature => {
+            RpcError::application(codes::BAD_SIGNATURE, "bad signature")
+        }
         ChainError::UnknownShard(s) => {
             RpcError::application(codes::UNKNOWN_SHARD, format!("unknown shard {s}"))
         }
@@ -63,9 +65,7 @@ pub fn serve(chain: Arc<dyn BlockchainClient>) -> RpcServer {
     let server = RpcServer::new(chain.chain_name());
     {
         let chain = Arc::clone(&chain);
-        server.register("chain_name", move |_| {
-            Ok(Value::from(chain.chain_name()))
-        });
+        server.register("chain_name", move |_| Ok(Value::from(chain.chain_name())));
     }
     {
         let chain = Arc::clone(&chain);
@@ -136,7 +136,10 @@ pub struct RpcChainClient {
 
 impl RpcChainClient {
     /// Connects to a served chain, fetching its name and architecture.
-    pub fn connect(server: &RpcServer, chain: Arc<dyn BlockchainClient>) -> Result<Self, ChainError> {
+    pub fn connect(
+        server: &RpcServer,
+        chain: Arc<dyn BlockchainClient>,
+    ) -> Result<Self, ChainError> {
         let rpc = server.client();
         let name = rpc
             .call("chain_name", Value::Null)
@@ -272,7 +275,10 @@ mod tests {
             self.submitted.lock().push(id);
             let mut blocks = self.blocks.lock();
             let height = blocks.len() as u64 + 1;
-            let prev = blocks.last().map(|b: &Block| b.header.hash()).unwrap_or([0; 32]);
+            let prev = blocks
+                .last()
+                .map(|b: &Block| b.header.hash())
+                .unwrap_or([0; 32]);
             blocks.push(Block::new(
                 height,
                 prev,
@@ -312,7 +318,10 @@ mod tests {
             client_id: 1,
             server_id: 1,
             nonce,
-            op: Op::KvPut { key: nonce, value: 7 },
+            op: Op::KvPut {
+                key: nonce,
+                value: 7,
+            },
             chain_name: "mock-chain".to_owned(),
             contract_name: "kv".to_owned(),
         }

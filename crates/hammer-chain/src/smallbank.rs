@@ -235,12 +235,32 @@ mod tests {
     #[test]
     fn tags_are_unique() {
         let ops = [
-            Op::CreateAccount { account: addr("a"), checking: 0, savings: 0 },
-            Op::DepositChecking { account: addr("a"), amount: 1 },
-            Op::WriteCheck { account: addr("a"), amount: 1 },
-            Op::SendPayment { from: addr("a"), to: addr("b"), amount: 1 },
-            Op::Amalgamate { from: addr("a"), to: addr("b") },
-            Op::TransactSavings { account: addr("a"), amount: 1 },
+            Op::CreateAccount {
+                account: addr("a"),
+                checking: 0,
+                savings: 0,
+            },
+            Op::DepositChecking {
+                account: addr("a"),
+                amount: 1,
+            },
+            Op::WriteCheck {
+                account: addr("a"),
+                amount: 1,
+            },
+            Op::SendPayment {
+                from: addr("a"),
+                to: addr("b"),
+                amount: 1,
+            },
+            Op::Amalgamate {
+                from: addr("a"),
+                to: addr("b"),
+            },
+            Op::TransactSavings {
+                account: addr("a"),
+                amount: 1,
+            },
             Op::Balance { account: addr("a") },
             Op::KvPut { key: 1, value: 2 },
             Op::KvGet { key: 1 },
@@ -255,8 +275,16 @@ mod tests {
     fn encoding_distinguishes_similar_ops() {
         let mut a = Vec::new();
         let mut b = Vec::new();
-        Op::DepositChecking { account: addr("a"), amount: 5 }.encode_into(&mut a);
-        Op::WriteCheck { account: addr("a"), amount: 5 }.encode_into(&mut b);
+        Op::DepositChecking {
+            account: addr("a"),
+            amount: 5,
+        }
+        .encode_into(&mut a);
+        Op::WriteCheck {
+            account: addr("a"),
+            amount: 5,
+        }
+        .encode_into(&mut b);
         assert_ne!(a, b);
     }
 
@@ -264,13 +292,21 @@ mod tests {
     fn read_only_classification() {
         assert!(Op::Balance { account: addr("a") }.is_read_only());
         assert!(Op::KvGet { key: 3 }.is_read_only());
-        assert!(!Op::DepositChecking { account: addr("a"), amount: 1 }.is_read_only());
+        assert!(!Op::DepositChecking {
+            account: addr("a"),
+            amount: 1
+        }
+        .is_read_only());
         assert!(!Op::KvPut { key: 3, value: 4 }.is_read_only());
     }
 
     #[test]
     fn touched_accounts_cover_both_sides() {
-        let op = Op::SendPayment { from: addr("a"), to: addr("b"), amount: 1 };
+        let op = Op::SendPayment {
+            from: addr("a"),
+            to: addr("b"),
+            amount: 1,
+        };
         let touched = op.touched_accounts();
         assert!(touched.contains(&addr("a")));
         assert!(touched.contains(&addr("b")));
@@ -279,13 +315,39 @@ mod tests {
 
     #[test]
     fn op_names_match_paper_terms() {
-        assert_eq!(Op::DepositChecking { account: addr("a"), amount: 1 }.name(), "deposit");
-        assert_eq!(Op::WriteCheck { account: addr("a"), amount: 1 }.name(), "withdraw");
         assert_eq!(
-            Op::SendPayment { from: addr("a"), to: addr("b"), amount: 1 }.name(),
+            Op::DepositChecking {
+                account: addr("a"),
+                amount: 1
+            }
+            .name(),
+            "deposit"
+        );
+        assert_eq!(
+            Op::WriteCheck {
+                account: addr("a"),
+                amount: 1
+            }
+            .name(),
+            "withdraw"
+        );
+        assert_eq!(
+            Op::SendPayment {
+                from: addr("a"),
+                to: addr("b"),
+                amount: 1
+            }
+            .name(),
             "transfer"
         );
-        assert_eq!(Op::Amalgamate { from: addr("a"), to: addr("b") }.name(), "amalgamate");
+        assert_eq!(
+            Op::Amalgamate {
+                from: addr("a"),
+                to: addr("b")
+            }
+            .name(),
+            "amalgamate"
+        );
     }
 
     #[test]

@@ -179,8 +179,7 @@ impl VersionedState {
                 rw.output = OpOutput::Ok;
             }
             Op::DepositChecking { account, amount } => {
-                let mut state =
-                    read(&mut rw, account).ok_or(ExecError::UnknownAccount(account))?;
+                let mut state = read(&mut rw, account).ok_or(ExecError::UnknownAccount(account))?;
                 state.checking = state
                     .checking
                     .checked_add(amount)
@@ -189,8 +188,7 @@ impl VersionedState {
                 rw.output = OpOutput::Ok;
             }
             Op::WriteCheck { account, amount } => {
-                let mut state =
-                    read(&mut rw, account).ok_or(ExecError::UnknownAccount(account))?;
+                let mut state = read(&mut rw, account).ok_or(ExecError::UnknownAccount(account))?;
                 if state.checking < amount {
                     return Err(ExecError::InsufficientFunds {
                         account,
@@ -217,7 +215,10 @@ impl VersionedState {
                     rw.writes.push((from, src));
                 } else {
                     src.checking -= amount;
-                    dst.checking = dst.checking.checked_add(amount).ok_or(ExecError::Overflow)?;
+                    dst.checking = dst
+                        .checking
+                        .checked_add(amount)
+                        .ok_or(ExecError::Overflow)?;
                     rw.writes.push((from, src));
                     rw.writes.push((to, dst));
                 }
@@ -244,8 +245,7 @@ impl VersionedState {
                 rw.output = OpOutput::Ok;
             }
             Op::TransactSavings { account, amount } => {
-                let mut state =
-                    read(&mut rw, account).ok_or(ExecError::UnknownAccount(account))?;
+                let mut state = read(&mut rw, account).ok_or(ExecError::UnknownAccount(account))?;
                 state.savings = state
                     .savings
                     .checked_add(amount)
@@ -325,9 +325,17 @@ mod tests {
     #[test]
     fn deposit_and_withdraw() {
         let mut s = seeded();
-        s.apply(&Op::DepositChecking { account: addr("alice"), amount: 25 }).unwrap();
+        s.apply(&Op::DepositChecking {
+            account: addr("alice"),
+            amount: 25,
+        })
+        .unwrap();
         assert_eq!(s.get(addr("alice")).unwrap().checking, 125);
-        s.apply(&Op::WriteCheck { account: addr("alice"), amount: 100 }).unwrap();
+        s.apply(&Op::WriteCheck {
+            account: addr("alice"),
+            amount: 100,
+        })
+        .unwrap();
         assert_eq!(s.get(addr("alice")).unwrap().checking, 25);
     }
 
@@ -335,7 +343,10 @@ mod tests {
     fn withdraw_insufficient_fails() {
         let mut s = seeded();
         let err = s
-            .apply(&Op::WriteCheck { account: addr("alice"), amount: 1000 })
+            .apply(&Op::WriteCheck {
+                account: addr("alice"),
+                amount: 1000,
+            })
             .unwrap_err();
         assert!(matches!(err, ExecError::InsufficientFunds { .. }));
         // State unchanged.
@@ -345,7 +356,12 @@ mod tests {
     #[test]
     fn transfer_moves_funds() {
         let mut s = seeded();
-        s.apply(&Op::SendPayment { from: addr("alice"), to: addr("bob"), amount: 40 }).unwrap();
+        s.apply(&Op::SendPayment {
+            from: addr("alice"),
+            to: addr("bob"),
+            amount: 40,
+        })
+        .unwrap();
         assert_eq!(s.get(addr("alice")).unwrap().checking, 60);
         assert_eq!(s.get(addr("bob")).unwrap().checking, 240);
     }
@@ -354,7 +370,12 @@ mod tests {
     fn self_transfer_is_noop_but_bumps_version() {
         let mut s = seeded();
         let v0 = s.get(addr("alice")).unwrap().version;
-        s.apply(&Op::SendPayment { from: addr("alice"), to: addr("alice"), amount: 10 }).unwrap();
+        s.apply(&Op::SendPayment {
+            from: addr("alice"),
+            to: addr("alice"),
+            amount: 10,
+        })
+        .unwrap();
         let st = s.get(addr("alice")).unwrap();
         assert_eq!(st.checking, 100);
         assert_eq!(st.version, v0 + 1);
@@ -363,7 +384,11 @@ mod tests {
     #[test]
     fn amalgamate_drains_savings() {
         let mut s = seeded();
-        s.apply(&Op::Amalgamate { from: addr("alice"), to: addr("bob") }).unwrap();
+        s.apply(&Op::Amalgamate {
+            from: addr("alice"),
+            to: addr("bob"),
+        })
+        .unwrap();
         let alice = s.get(addr("alice")).unwrap();
         let bob = s.get(addr("bob")).unwrap();
         assert_eq!(alice.savings, 0);
@@ -373,7 +398,11 @@ mod tests {
     #[test]
     fn self_amalgamate_moves_savings_to_checking() {
         let mut s = seeded();
-        s.apply(&Op::Amalgamate { from: addr("alice"), to: addr("alice") }).unwrap();
+        s.apply(&Op::Amalgamate {
+            from: addr("alice"),
+            to: addr("alice"),
+        })
+        .unwrap();
         let alice = s.get(addr("alice")).unwrap();
         assert_eq!(alice.checking, 150);
         assert_eq!(alice.savings, 0);
@@ -383,12 +412,24 @@ mod tests {
     fn unknown_account_fails() {
         let mut s = VersionedState::new();
         for op in [
-            Op::DepositChecking { account: addr("x"), amount: 1 },
-            Op::WriteCheck { account: addr("x"), amount: 1 },
+            Op::DepositChecking {
+                account: addr("x"),
+                amount: 1,
+            },
+            Op::WriteCheck {
+                account: addr("x"),
+                amount: 1,
+            },
             Op::Balance { account: addr("x") },
-            Op::TransactSavings { account: addr("x"), amount: 1 },
+            Op::TransactSavings {
+                account: addr("x"),
+                amount: 1,
+            },
         ] {
-            assert!(matches!(s.apply(&op), Err(ExecError::UnknownAccount(_))), "{op:?}");
+            assert!(
+                matches!(s.apply(&op), Err(ExecError::UnknownAccount(_))),
+                "{op:?}"
+            );
         }
     }
 
@@ -397,7 +438,10 @@ mod tests {
         let mut s = VersionedState::new();
         s.seed_account(addr("rich"), u64::MAX, 0);
         let err = s
-            .apply(&Op::DepositChecking { account: addr("rich"), amount: 1 })
+            .apply(&Op::DepositChecking {
+                account: addr("rich"),
+                amount: 1,
+            })
             .unwrap_err();
         assert_eq!(err, ExecError::Overflow);
     }
@@ -405,18 +449,32 @@ mod tests {
     #[test]
     fn kv_put_get() {
         let mut s = VersionedState::new();
-        assert_eq!(s.apply(&Op::KvGet { key: 7 }).unwrap(), OpOutput::KvValue(None));
+        assert_eq!(
+            s.apply(&Op::KvGet { key: 7 }).unwrap(),
+            OpOutput::KvValue(None)
+        );
         s.apply(&Op::KvPut { key: 7, value: 99 }).unwrap();
-        assert_eq!(s.apply(&Op::KvGet { key: 7 }).unwrap(), OpOutput::KvValue(Some(99)));
+        assert_eq!(
+            s.apply(&Op::KvGet { key: 7 }).unwrap(),
+            OpOutput::KvValue(Some(99))
+        );
     }
 
     #[test]
     fn versions_bump_on_commit() {
         let mut s = seeded();
         assert_eq!(s.get(addr("alice")).unwrap().version, 0);
-        s.apply(&Op::DepositChecking { account: addr("alice"), amount: 1 }).unwrap();
+        s.apply(&Op::DepositChecking {
+            account: addr("alice"),
+            amount: 1,
+        })
+        .unwrap();
         assert_eq!(s.get(addr("alice")).unwrap().version, 1);
-        s.apply(&Op::DepositChecking { account: addr("alice"), amount: 1 }).unwrap();
+        s.apply(&Op::DepositChecking {
+            account: addr("alice"),
+            amount: 1,
+        })
+        .unwrap();
         assert_eq!(s.get(addr("alice")).unwrap().version, 2);
     }
 
@@ -425,10 +483,16 @@ mod tests {
         let mut s = seeded();
         // Two transactions simulated against the same snapshot.
         let rw1 = s
-            .simulate(&Op::WriteCheck { account: addr("alice"), amount: 10 })
+            .simulate(&Op::WriteCheck {
+                account: addr("alice"),
+                amount: 10,
+            })
             .unwrap();
         let rw2 = s
-            .simulate(&Op::WriteCheck { account: addr("alice"), amount: 20 })
+            .simulate(&Op::WriteCheck {
+                account: addr("alice"),
+                amount: 20,
+            })
             .unwrap();
         assert!(s.validate_and_commit(&rw1));
         // Second one read version 0 but alice is now at version 1.
@@ -440,10 +504,16 @@ mod tests {
     fn disjoint_rwsets_both_commit() {
         let mut s = seeded();
         let rw1 = s
-            .simulate(&Op::DepositChecking { account: addr("alice"), amount: 1 })
+            .simulate(&Op::DepositChecking {
+                account: addr("alice"),
+                amount: 1,
+            })
             .unwrap();
         let rw2 = s
-            .simulate(&Op::DepositChecking { account: addr("bob"), amount: 2 })
+            .simulate(&Op::DepositChecking {
+                account: addr("bob"),
+                amount: 2,
+            })
             .unwrap();
         assert!(s.validate_and_commit(&rw1));
         assert!(s.validate_and_commit(&rw2));
@@ -452,7 +522,11 @@ mod tests {
     #[test]
     fn read_only_rwset_has_no_writes() {
         let s = seeded();
-        let rw = s.simulate(&Op::Balance { account: addr("alice") }).unwrap();
+        let rw = s
+            .simulate(&Op::Balance {
+                account: addr("alice"),
+            })
+            .unwrap();
         assert!(rw.writes.is_empty());
         assert_eq!(rw.reads.len(), 1);
         assert_eq!(rw.output, OpOutput::Balances(100, 50));
@@ -462,8 +536,17 @@ mod tests {
     fn transfers_conserve_total_funds() {
         let mut s = seeded();
         let before = s.total_funds();
-        s.apply(&Op::SendPayment { from: addr("alice"), to: addr("bob"), amount: 33 }).unwrap();
-        s.apply(&Op::Amalgamate { from: addr("bob"), to: addr("alice") }).unwrap();
+        s.apply(&Op::SendPayment {
+            from: addr("alice"),
+            to: addr("bob"),
+            amount: 33,
+        })
+        .unwrap();
+        s.apply(&Op::Amalgamate {
+            from: addr("bob"),
+            to: addr("alice"),
+        })
+        .unwrap();
         assert_eq!(s.total_funds(), before);
     }
 

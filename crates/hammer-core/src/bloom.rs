@@ -83,9 +83,7 @@ impl BloomFilter {
     fn probes(&self, fingerprint: u64) -> impl Iterator<Item = u64> + '_ {
         let h1 = splitmix64(fingerprint);
         let h2 = splitmix64(h1) | 1; // odd stride
-        (0..self.k).map(move |i| {
-            h1.wrapping_add(h2.wrapping_mul(i as u64)) % self.n_bits
-        })
+        (0..self.k).map(move |i| h1.wrapping_add(h2.wrapping_mul(i as u64)) % self.n_bits)
     }
 
     /// Inserts a fingerprint.

@@ -38,7 +38,9 @@ use hammer_crypto::sig::SigParams;
 use hammer_crypto::Keypair;
 use hammer_store::table::{LatencySummary, PerfRow, TableStore};
 use hammer_store::KvStore;
-use hammer_workload::{ControlSequence, SmallBankGenerator, WorkloadConfig, WorkloadKind, YcsbGenerator};
+use hammer_workload::{
+    ControlSequence, SmallBankGenerator, WorkloadConfig, WorkloadKind, YcsbGenerator,
+};
 use parking_lot::Mutex;
 
 use crate::baseline::BatchQueue;
@@ -472,37 +474,35 @@ impl Evaluation {
             let machine = self.config.machine;
             let monitor_syncer = syncer.clone();
             let monitor_shards = Arc::clone(&shard_commits);
-            let monitor = scope.spawn(move || {
-                match mode {
-                    TestingMode::Interactive => {
-                        let rx = events_rx.expect("subscribed above");
-                        interactive_monitor(
-                            rx,
-                            monitor_clock,
-                            monitor_tracker,
-                            done,
-                            deadline,
-                            listen_cost,
-                            event_buffer,
-                            machine,
-                            active_threads,
-                            monitor_syncer,
-                            monitor_shards,
-                        );
-                    }
-                    _ => {
-                        polling_monitor(
-                            monitor_chain,
-                            monitor_clock,
-                            monitor_tracker,
-                            done,
-                            deadline,
-                            poll_interval,
-                            mode,
-                            monitor_syncer,
-                            monitor_shards,
-                        );
-                    }
+            let monitor = scope.spawn(move || match mode {
+                TestingMode::Interactive => {
+                    let rx = events_rx.expect("subscribed above");
+                    interactive_monitor(
+                        rx,
+                        monitor_clock,
+                        monitor_tracker,
+                        done,
+                        deadline,
+                        listen_cost,
+                        event_buffer,
+                        machine,
+                        active_threads,
+                        monitor_syncer,
+                        monitor_shards,
+                    );
+                }
+                _ => {
+                    polling_monitor(
+                        monitor_chain,
+                        monitor_clock,
+                        monitor_tracker,
+                        done,
+                        deadline,
+                        poll_interval,
+                        mode,
+                        monitor_syncer,
+                        monitor_shards,
+                    );
                 }
             });
 
@@ -628,10 +628,7 @@ fn record_to_status(record: &TxRecord) -> StatusRecord {
         client_id: record.client_id,
         server_id: record.server_id,
         start_ns: record.start.as_nanos() as u64,
-        end_ns: record
-            .end
-            .map(|e| e.as_nanos() as u64)
-            .unwrap_or(u64::MAX),
+        end_ns: record.end.map(|e| e.as_nanos() as u64).unwrap_or(u64::MAX),
         ok: record.status == TxStatus::Committed,
     }
 }
@@ -653,6 +650,10 @@ fn polling_monitor(
 ) {
     let shards = chain.architecture().shard_count();
     let mut last_seen = vec![0u64; shards as usize];
+    // Set once the drain deadline has passed: one last full scan runs so
+    // blocks committed during the final poll window still match before
+    // the stragglers are declared timed out.
+    let mut final_pass = false;
     loop {
         for shard in 0..shards {
             let height = match chain.latest_height(shard) {
@@ -696,9 +697,13 @@ fn polling_monitor(
             if pending == 0 {
                 return;
             }
+            if final_pass {
+                return;
+            }
             if let Some(d) = *deadline.lock() {
                 if clock.now() >= d {
-                    return;
+                    final_pass = true;
+                    continue;
                 }
             }
         }
@@ -707,7 +712,6 @@ fn polling_monitor(
 }
 
 /// Caliper-style per-event listener.
-#[allow(clippy::too_many_arguments)]
 #[allow(clippy::too_many_arguments)]
 fn interactive_monitor(
     rx: Receiver<hammer_chain::client::CommitEvent>,
@@ -740,9 +744,10 @@ fn interactive_monitor(
                 // resource wastage the paper attributes to interactive
                 // testing under heavy load.
                 clock.sleep(per_event);
-                let record = tracker
-                    .lock()
-                    .complete(&event.tx_id, event.committed_at, event.success);
+                let record =
+                    tracker
+                        .lock()
+                        .complete(&event.tx_id, event.committed_at, event.success);
                 if let Some(record) = record {
                     if event.success {
                         *shard_commits.lock().entry(event.shard).or_insert(0) += 1;
@@ -845,7 +850,12 @@ mod tests {
         assert!(report.committed > 100, "committed = {}", report.committed);
         // Shard-aware load report: both shards carried traffic, and the
         // per-shard counts sum to the committed total.
-        assert_eq!(report.per_shard_committed.len(), 2, "{:?}", report.per_shard_committed);
+        assert_eq!(
+            report.per_shard_committed.len(),
+            2,
+            "{:?}",
+            report.per_shard_committed
+        );
         let total: usize = report.per_shard_committed.iter().map(|(_, n)| n).sum();
         assert_eq!(total, report.committed);
     }
@@ -862,11 +872,12 @@ mod tests {
 
     #[test]
     fn serial_and_pipelined_signing_agree_on_outcomes() {
-        for signing in [SigningStrategy::Serial, SigningStrategy::Async, SigningStrategy::Pipelined] {
-            let deployment = Deployment::up(
-                ChainSpec::Neuchain(NeuchainConfig::default()),
-                1000.0,
-            );
+        for signing in [
+            SigningStrategy::Serial,
+            SigningStrategy::Async,
+            SigningStrategy::Pipelined,
+        ] {
+            let deployment = Deployment::up(ChainSpec::Neuchain(NeuchainConfig::default()), 1000.0);
             let control = ControlSequence::constant(40, 2, Duration::from_secs(1));
             let report = Evaluation::new(EvalConfig {
                 signing,
@@ -936,8 +947,7 @@ mod tests {
         // burst slice dominates. Run at a modest speed-up so scheduling
         // noise on loaded single-core hosts cannot smear the burst.
         let deployment = Deployment::up(ChainSpec::neuchain_default(), 200.0);
-        let control =
-            ControlSequence::from_budgets(vec![10, 200, 10], Duration::from_secs(1));
+        let control = ControlSequence::from_budgets(vec![10, 200, 10], Duration::from_secs(1));
         let report = Evaluation::new(fast_config())
             .run(&deployment, &small_workload(220), &control)
             .unwrap();

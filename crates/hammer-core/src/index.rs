@@ -245,8 +245,7 @@ impl TxTable {
     /// Returns the number of dropped records.
     pub fn compact(&mut self) -> usize {
         let before = self.records.len();
-        self.records
-            .retain(|r| r.status == TxStatus::Pending);
+        self.records.retain(|r| r.status == TxStatus::Pending);
         let dropped = before - self.records.len();
         if dropped == 0 {
             return 0;
@@ -336,7 +335,10 @@ mod tests {
         assert!(table.stats().expansions > 0);
         // Every one still findable after expansion.
         for i in 0..10_000 {
-            assert!(table.complete(&tx_id(i), Duration::from_secs(1), true), "{i}");
+            assert!(
+                table.complete(&tx_id(i), Duration::from_secs(1), true),
+                "{i}"
+            );
         }
     }
 
@@ -383,7 +385,10 @@ mod tests {
         assert_eq!(table.len(), 40);
         // Pending survivors still findable and completable.
         for i in 60..100 {
-            assert!(table.complete(&tx_id(i), Duration::from_secs(2), true), "{i}");
+            assert!(
+                table.complete(&tx_id(i), Duration::from_secs(2), true),
+                "{i}"
+            );
         }
         // Completed ones are gone.
         assert!(table.get(&tx_id(0)).is_none());
@@ -427,16 +432,16 @@ mod tests {
                 table.insert(tx_id(i as u64), 0, 0, Duration::ZERO);
             }
             let mut completed = 0;
-            for i in 0..n {
-                if complete_mask[i] {
+            for (i, &done) in complete_mask.iter().enumerate().take(n) {
+                if done {
                     prop_assert!(table.complete(&tx_id(i as u64), Duration::from_secs(1), true));
                     completed += 1;
                 }
             }
             prop_assert_eq!(table.pending(), n - completed);
-            for i in 0..n {
+            for (i, &done) in complete_mask.iter().enumerate().take(n) {
                 let status = table.get(&tx_id(i as u64)).unwrap().status;
-                if complete_mask[i] {
+                if done {
                     prop_assert_eq!(status, TxStatus::Committed);
                 } else {
                     prop_assert_eq!(status, TxStatus::Pending);

@@ -130,8 +130,7 @@ mod tests {
             ..WorkloadConfig::default()
         };
         let control = ControlSequence::constant(50, 3, Duration::from_secs(1));
-        let report =
-            run_distributed(&deployment, &workload, &control, &fast_config(), 2).unwrap();
+        let report = run_distributed(&deployment, &workload, &control, &fast_config(), 2).unwrap();
         assert_eq!(report.per_driver.len(), 2);
         assert_eq!(report.combined_submitted(), 300);
         assert!(

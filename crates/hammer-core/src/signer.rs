@@ -21,12 +21,18 @@ use hammer_crypto::sig::SigParams;
 use hammer_crypto::Keypair;
 
 /// Signs the batch on the calling thread (the serial baseline).
+///
+/// One scratch buffer serves the whole batch, so steady-state signing does
+/// no per-transaction allocations for the signable encoding.
 pub fn sign_serial(
     txs: Vec<Transaction>,
     keypair: &Keypair,
     params: &SigParams,
 ) -> Vec<SignedTransaction> {
-    txs.into_iter().map(|tx| tx.sign(keypair, params)).collect()
+    let mut buf = Vec::with_capacity(64);
+    txs.into_iter()
+        .map(|tx| tx.sign_with_buf(keypair, params, &mut buf))
+        .collect()
 }
 
 /// Signs the batch on `threads` worker threads and waits for all of them
@@ -60,8 +66,9 @@ pub fn sign_async(
             let kp = *keypair;
             let p = *params;
             handles.push(scope.spawn(move || {
+                let mut buf = Vec::with_capacity(64);
                 for (slot, tx) in slots.iter_mut().zip(batch) {
-                    *slot = Some(tx.sign(&kp, &p));
+                    *slot = Some(tx.sign_with_buf(&kp, &p, &mut buf));
                 }
             }));
             start += take;
@@ -71,7 +78,9 @@ pub fn sign_async(
             h.join().expect("signer thread panicked");
         }
     });
-    out.into_iter().map(|s| s.expect("all slots filled")).collect()
+    out.into_iter()
+        .map(|s| s.expect("all slots filled"))
+        .collect()
 }
 
 /// Signs on `threads` workers and streams results through a channel so the
@@ -102,8 +111,12 @@ pub fn sign_pipelined(
         std::thread::Builder::new()
             .name("hammer-signer".to_owned())
             .spawn(move || {
+                let mut buf = Vec::with_capacity(64);
                 for tx in batch {
-                    if out.send(tx.sign(&keypair, &params)).is_err() {
+                    if out
+                        .send(tx.sign_with_buf(&keypair, &params, &mut buf))
+                        .is_err()
+                    {
                         return; // consumer gone
                     }
                 }

@@ -161,7 +161,7 @@ mod tests {
             server_id: (n % 3) as u32,
             start_ns: n * 1000,
             end_ns: n * 1000 + 500,
-            ok: n % 7 != 0,
+            ok: !n.is_multiple_of(7),
         }
     }
 

@@ -2,7 +2,7 @@
 
 use rand::Rng;
 
-use crate::sig::{self, SigParams, Signature, G, GROUP_ORDER};
+use crate::sig::{self, SigParams, Signature, GROUP_ORDER};
 
 /// A secret signing key (a scalar in `[1, GROUP_ORDER)`).
 ///
@@ -41,7 +41,7 @@ impl SecretKey {
 
     /// Derives the matching public key.
     pub fn public(&self) -> PublicKey {
-        PublicKey(sig::pow_mod(G, self.0))
+        PublicKey(sig::pow_g(self.0))
     }
 
     /// Signs a message.
@@ -86,7 +86,8 @@ impl Keypair {
     pub fn from_seed(seed: u64) -> Self {
         // Hash the seed into the scalar range; a fixed domain tag keeps
         // distinct derivation domains apart.
-        let digest = crate::sha256(&[b"hammer-keypair-v1".as_slice(), &seed.to_be_bytes()].concat());
+        let digest =
+            crate::sha256(&[b"hammer-keypair-v1".as_slice(), &seed.to_be_bytes()].concat());
         let mut x = u64::from_be_bytes(digest[..8].try_into().expect("8 bytes")) % GROUP_ORDER;
         if x == 0 {
             x = 1;
@@ -106,9 +107,10 @@ impl Keypair {
         self.public
     }
 
-    /// Signs a message with the secret key.
+    /// Signs a message with the secret key, reusing the cached public
+    /// key — the keypair signing hot path never re-derives `g^x`.
     pub fn sign(&self, msg: &[u8], params: &SigParams) -> Signature {
-        self.secret.sign(msg, params)
+        sig::sign_with_key(self.secret.0, self.public.0, msg, params)
     }
 }
 
@@ -130,7 +132,10 @@ mod tests {
     #[test]
     fn from_seed_is_deterministic() {
         assert_eq!(Keypair::from_seed(7), Keypair::from_seed(7));
-        assert_ne!(Keypair::from_seed(7).public(), Keypair::from_seed(8).public());
+        assert_ne!(
+            Keypair::from_seed(7).public(),
+            Keypair::from_seed(8).public()
+        );
     }
 
     #[test]

@@ -45,7 +45,7 @@ impl MerkleTree {
         let mut levels = vec![leaves];
         while levels.last().expect("nonempty").len() > 1 {
             let prev = levels.last().expect("nonempty");
-            let mut next = Vec::with_capacity((prev.len() + 1) / 2);
+            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
             for pair in prev.chunks(2) {
                 let left = &pair[0];
                 let right = pair.get(1).unwrap_or(left); // duplicate odd node
@@ -63,10 +63,7 @@ impl MerkleTree {
 
     /// The Merkle root; all-zero for the empty tree.
     pub fn root(&self) -> Hash32 {
-        self.levels
-            .last()
-            .map(|l| l[0])
-            .unwrap_or([0u8; 32])
+        self.levels.last().map(|l| l[0]).unwrap_or([0u8; 32])
     }
 
     /// Number of leaves.
@@ -108,7 +105,7 @@ impl MerkleProof {
         let mut acc = *leaf;
         let mut idx = self.leaf_index;
         for sibling in &self.siblings {
-            acc = if idx % 2 == 0 {
+            acc = if idx.is_multiple_of(2) {
                 sha256_pair(&acc, sibling)
             } else {
                 sha256_pair(sibling, &acc)
@@ -126,7 +123,7 @@ pub fn merkle_root<T: AsRef<[u8]>>(items: &[T]) -> Hash32 {
     }
     let mut level: Vec<Digest> = items.iter().map(|i| crate::sha256(i.as_ref())).collect();
     while level.len() > 1 {
-        let mut next = Vec::with_capacity((level.len() + 1) / 2);
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
         for pair in level.chunks(2) {
             let left = &pair[0];
             let right = pair.get(1).unwrap_or(left);
@@ -144,7 +141,9 @@ mod tests {
     use proptest::prelude::*;
 
     fn leaves(n: usize) -> Vec<Digest> {
-        (0..n).map(|i| sha256(format!("leaf-{i}").as_bytes())).collect()
+        (0..n)
+            .map(|i| sha256(format!("leaf-{i}").as_bytes()))
+            .collect()
     }
 
     #[test]

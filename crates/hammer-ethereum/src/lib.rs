@@ -43,7 +43,7 @@ use hammer_chain::events::CommitBus;
 use hammer_chain::ledger::Ledger;
 use hammer_chain::mempool::Mempool;
 use hammer_chain::state::VersionedState;
-use hammer_chain::types::{Block, SignedTransaction, TxId};
+use hammer_chain::types::{verify_signed_batch, Block, SignedTransaction, TxId};
 use hammer_crypto::sig::SigParams;
 use hammer_net::{SimClock, SimNetwork};
 use parking_lot::{Mutex, RwLock};
@@ -209,7 +209,10 @@ impl EthereumSim {
     /// SmallBank account pre-population, which real deployments do with a
     /// genesis allocation).
     pub fn seed_account(&self, account: hammer_chain::types::Address, checking: u64, savings: u64) {
-        self.inner.state.lock().seed_account(account, checking, savings);
+        self.inner
+            .state
+            .lock()
+            .seed_account(account, checking, savings);
     }
 
     /// Snapshot of activity counters.
@@ -251,7 +254,21 @@ fn miner_loop(inner: Arc<Inner>) {
         }
 
         // Pack the block under the gas limit.
-        let txs = inner.mempool.drain(inner.config.max_txs_per_block());
+        let mut txs = inner.mempool.drain(inner.config.max_txs_per_block());
+        // Verify the whole candidate set in one batch before touching the
+        // state lock: repeated sender keys share a precomputed table, and
+        // the lock is never held across signature checks.
+        if inner.config.verify_signatures {
+            let verdicts = verify_signed_batch(&txs, &inner.config.sig_params);
+            let mut verdicts = verdicts.iter();
+            txs.retain(|_| {
+                let ok = *verdicts.next().expect("one verdict per tx");
+                if !ok {
+                    inner.bad_sig.fetch_add(1, Ordering::Relaxed);
+                }
+                ok // rejected txs are not included at all
+            });
+        }
         // Model aggregate EVM execution time.
         if !txs.is_empty() {
             inner
@@ -264,10 +281,6 @@ fn miner_loop(inner: Arc<Inner>) {
         {
             let mut state = inner.state.lock();
             for tx in &txs {
-                if inner.config.verify_signatures && !tx.verify(&inner.config.sig_params) {
-                    inner.bad_sig.fetch_add(1, Ordering::Relaxed);
-                    continue; // not included at all
-                }
                 let ok = state.apply(&tx.tx.op).is_ok();
                 tx_ids.push(tx.id);
                 valid.push(ok);
@@ -430,7 +443,13 @@ mod tests {
         });
         chain.seed_account(Address::from_name("a"), 1000, 0);
         let id = chain
-            .submit(signed(1, Op::DepositChecking { account: Address::from_name("a"), amount: 5 }))
+            .submit(signed(
+                1,
+                Op::DepositChecking {
+                    account: Address::from_name("a"),
+                    amount: 5,
+                },
+            ))
             .unwrap();
         assert!(wait_for_height(&chain, 1, 5000), "no block mined");
         // The tx should land in some block.
@@ -444,7 +463,10 @@ mod tests {
             }
         }
         assert!(found, "tx never included");
-        assert_eq!(chain.account(Address::from_name("a")).unwrap().checking, 1005);
+        assert_eq!(
+            chain.account(Address::from_name("a")).unwrap().checking,
+            1005
+        );
         chain.shutdown();
     }
 
@@ -456,7 +478,13 @@ mod tests {
         });
         // Withdraw from a non-existent account fails execution.
         let id = chain
-            .submit(signed(1, Op::WriteCheck { account: Address::from_name("ghost"), amount: 5 }))
+            .submit(signed(
+                1,
+                Op::WriteCheck {
+                    account: Address::from_name("ghost"),
+                    amount: 5,
+                },
+            ))
             .unwrap();
         assert!(wait_for_height(&chain, 1, 5000));
         std::thread::sleep(Duration::from_millis(50));
@@ -482,7 +510,12 @@ mod tests {
         let rx = chain.subscribe_commits();
         chain.seed_account(Address::from_name("a"), 100, 0);
         let id = chain
-            .submit(signed(1, Op::Balance { account: Address::from_name("a") }))
+            .submit(signed(
+                1,
+                Op::Balance {
+                    account: Address::from_name("a"),
+                },
+            ))
             .unwrap();
         let event = rx.recv_timeout(Duration::from_secs(5)).unwrap();
         assert_eq!(event.tx_id, id);
@@ -500,7 +533,13 @@ mod tests {
         chain.seed_account(Address::from_name("a"), 1_000_000, 0);
         for i in 0..25 {
             chain
-                .submit(signed(i, Op::DepositChecking { account: Address::from_name("a"), amount: 1 }))
+                .submit(signed(
+                    i,
+                    Op::DepositChecking {
+                        account: Address::from_name("a"),
+                        amount: 1,
+                    },
+                ))
                 .unwrap();
         }
         assert!(wait_for_height(&chain, 1, 5000));
@@ -514,8 +553,14 @@ mod tests {
     #[test]
     fn rejects_wrong_shard() {
         let (chain, _clock) = fast_chain(EthereumConfig::default());
-        assert!(matches!(chain.latest_height(1), Err(ChainError::UnknownShard(1))));
-        assert!(matches!(chain.block_at(2, 1), Err(ChainError::UnknownShard(2))));
+        assert!(matches!(
+            chain.latest_height(1),
+            Err(ChainError::UnknownShard(1))
+        ));
+        assert!(matches!(
+            chain.block_at(2, 1),
+            Err(ChainError::UnknownShard(2))
+        ));
         chain.shutdown();
     }
 
@@ -523,9 +568,7 @@ mod tests {
     fn submit_after_shutdown_fails() {
         let (chain, _clock) = fast_chain(EthereumConfig::default());
         chain.shutdown();
-        let err = chain
-            .submit(signed(1, Op::KvGet { key: 1 }))
-            .unwrap_err();
+        let err = chain.submit(signed(1, Op::KvGet { key: 1 })).unwrap_err();
         assert_eq!(err, ChainError::Shutdown);
     }
 
@@ -549,7 +592,13 @@ mod tests {
         });
         chain.seed_account(Address::from_name("a"), 1000, 0);
         for i in 0..10 {
-            let _ = chain.submit(signed(i, Op::DepositChecking { account: Address::from_name("a"), amount: 1 }));
+            let _ = chain.submit(signed(
+                i,
+                Op::DepositChecking {
+                    account: Address::from_name("a"),
+                    amount: 1,
+                },
+            ));
         }
         assert!(wait_for_height(&chain, 3, 8000));
         chain.shutdown();

@@ -32,6 +32,7 @@ use hammer_chain::events::CommitBus;
 use hammer_chain::ledger::Ledger;
 use hammer_chain::mempool::MempoolError;
 use hammer_chain::state::{RwSet, VersionedState};
+use hammer_chain::types::verify_signed_batch;
 use hammer_chain::types::{Block, SignedTransaction, TxId};
 use hammer_crypto::sig::SigParams;
 use hammer_net::{SimClock, SimNetwork};
@@ -234,7 +235,10 @@ impl FabricSim {
 
     /// Seeds an account directly into world state (genesis allocation).
     pub fn seed_account(&self, account: hammer_chain::types::Address, checking: u64, savings: u64) {
-        self.inner.state.lock().seed_account(account, checking, savings);
+        self.inner
+            .state
+            .lock()
+            .seed_account(account, checking, savings);
     }
 
     /// Reads an account's state.
@@ -273,7 +277,7 @@ fn endorser_loop(inner: Arc<Inner>, rx: Receiver<SignedTransaction>, out: Sender
                 .clock
                 .sleep(inner.config.reject_handling_cost * owed.min(10_000) as u32);
         }
-        let tx = match rx.recv_timeout(Duration::from_millis(100)) {
+        let first = match rx.recv_timeout(Duration::from_millis(100)) {
             Ok(tx) => tx,
             Err(RecvTimeoutError::Timeout) => {
                 if inner.shutdown.load(Ordering::Relaxed) {
@@ -283,19 +287,49 @@ fn endorser_loop(inner: Arc<Inner>, rx: Receiver<SignedTransaction>, out: Sender
             }
             Err(_) => return,
         };
-        // Endorsement = signature check + simulated execution cost + rwset.
-        if inner.config.verify_signatures && !tx.verify(&inner.config.sig_params) {
-            inner.bad_sig.fetch_add(1, Ordering::Relaxed);
-            inner.pending_ids.lock().remove(&tx.id);
-            continue;
+        // Greedily drain whatever burst is already queued so signature
+        // checks run through the batch verifier (shared per-key tables)
+        // instead of one full modexp per transaction. The drain is capped
+        // at a pool share of a block so a deep queue is still endorsed by
+        // every endorser thread in parallel — one thread swallowing a
+        // whole block serialises its endorsement cost, which inflates
+        // read-set staleness and MVCC conflicts downstream.
+        let burst_cap = (inner.config.max_batch / inner.config.endorser_threads).max(8);
+        let mut burst = vec![first];
+        while burst.len() < burst_cap {
+            match rx.try_recv() {
+                Ok(tx) => burst.push(tx),
+                Err(_) => break,
+            }
         }
-        inner.clock.sleep(inner.config.endorse_cost);
-        let rwset = inner.state.lock().simulate(&tx.tx.op).ok();
-        if rwset.is_none() {
-            inner.endorse_failures.fetch_add(1, Ordering::Relaxed);
+        if inner.config.verify_signatures {
+            let verdicts = verify_signed_batch(&burst, &inner.config.sig_params);
+            let mut verdicts = verdicts.iter();
+            burst.retain(|tx| {
+                let ok = *verdicts.next().expect("one verdict per tx");
+                if !ok {
+                    inner.bad_sig.fetch_add(1, Ordering::Relaxed);
+                    inner.pending_ids.lock().remove(&tx.id);
+                }
+                ok
+            });
         }
-        if out.send(Endorsed { tx_id: tx.id, rwset }).is_err() {
-            return;
+        for tx in burst {
+            // Endorsement = simulated execution cost + rwset.
+            inner.clock.sleep(inner.config.endorse_cost);
+            let rwset = inner.state.lock().simulate(&tx.tx.op).ok();
+            if rwset.is_none() {
+                inner.endorse_failures.fetch_add(1, Ordering::Relaxed);
+            }
+            if out
+                .send(Endorsed {
+                    tx_id: tx.id,
+                    rwset,
+                })
+                .is_err()
+            {
+                return;
+            }
         }
     }
 }
@@ -317,8 +351,7 @@ fn orderer_loop(inner: Arc<Inner>, rx: Receiver<Endorsed>, out: Sender<Vec<Endor
             Ok(endorsed) => {
                 if batch.is_empty() {
                     batch_deadline = Some(
-                        std::time::Instant::now()
-                            + inner.clock.to_wall(inner.config.batch_timeout),
+                        std::time::Instant::now() + inner.clock.to_wall(inner.config.batch_timeout),
                     );
                 }
                 batch.push(endorsed);
@@ -528,10 +561,19 @@ mod tests {
         let chain = fast_chain(FabricConfig::default());
         chain.seed_account(Address::from_name("a"), 100, 0);
         let id = chain
-            .submit(signed(1, Op::DepositChecking { account: Address::from_name("a"), amount: 11 }))
+            .submit(signed(
+                1,
+                Op::DepositChecking {
+                    account: Address::from_name("a"),
+                    amount: 11,
+                },
+            ))
             .unwrap();
         assert!(wait_until(|| chain.stats().committed == 1, 5000));
-        assert_eq!(chain.account(Address::from_name("a")).unwrap().checking, 111);
+        assert_eq!(
+            chain.account(Address::from_name("a")).unwrap().checking,
+            111
+        );
         let height = chain.latest_height(0).unwrap();
         let mut found = false;
         for h in 1..=height {
@@ -557,7 +599,13 @@ mod tests {
         chain.seed_account(Address::from_name("hot"), 1000, 0);
         for i in 0..5 {
             chain
-                .submit(signed(i, Op::WriteCheck { account: Address::from_name("hot"), amount: 1 }))
+                .submit(signed(
+                    i,
+                    Op::WriteCheck {
+                        account: Address::from_name("hot"),
+                        amount: 1,
+                    },
+                ))
                 .unwrap();
         }
         assert!(wait_until(
@@ -577,7 +625,13 @@ mod tests {
     fn endorsement_failure_marked_invalid() {
         let chain = fast_chain(FabricConfig::default());
         let id = chain
-            .submit(signed(1, Op::WriteCheck { account: Address::from_name("ghost"), amount: 1 }))
+            .submit(signed(
+                1,
+                Op::WriteCheck {
+                    account: Address::from_name("ghost"),
+                    amount: 1,
+                },
+            ))
             .unwrap();
         assert!(wait_until(|| chain.stats().endorse_failures == 1, 5000));
         assert!(wait_until(|| chain.latest_height(0).unwrap() >= 1, 5000));
@@ -598,7 +652,13 @@ mod tests {
         let mut rejected = 0;
         for i in 0..50 {
             if chain
-                .submit(signed(i, Op::DepositChecking { account: Address::from_name("a"), amount: 1 }))
+                .submit(signed(
+                    i,
+                    Op::DepositChecking {
+                        account: Address::from_name("a"),
+                        amount: 1,
+                    },
+                ))
                 .is_err()
             {
                 rejected += 1;
@@ -631,7 +691,12 @@ mod tests {
         chain.seed_account(Address::from_name("a"), 100, 50);
         for i in 0..3 {
             chain
-                .submit(signed(i, Op::Balance { account: Address::from_name("a") }))
+                .submit(signed(
+                    i,
+                    Op::Balance {
+                        account: Address::from_name("a"),
+                    },
+                ))
                 .unwrap();
         }
         let mut seen = 0;
@@ -653,7 +718,10 @@ mod tests {
         for i in 0..40 {
             let _ = chain.submit(signed(
                 i,
-                Op::DepositChecking { account: Address::from_name(&format!("a{i}")), amount: 1 },
+                Op::DepositChecking {
+                    account: Address::from_name(&format!("a{i}")),
+                    amount: 1,
+                },
             ));
         }
         assert!(wait_until(|| chain.stats().committed >= 40, 8000));
@@ -673,7 +741,10 @@ mod tests {
         for i in 0..23 {
             let _ = chain.submit(signed(
                 i,
-                Op::DepositChecking { account: Address::from_name(&format!("b{i}")), amount: 1 },
+                Op::DepositChecking {
+                    account: Address::from_name(&format!("b{i}")),
+                    amount: 1,
+                },
             ));
         }
         assert!(wait_until(|| chain.stats().committed >= 23, 8000));
@@ -693,7 +764,10 @@ mod tests {
         for i in 0..10 {
             let _ = chain.submit(signed(
                 i,
-                Op::DepositChecking { account: Address::from_name(&format!("c{i}")), amount: 1 },
+                Op::DepositChecking {
+                    account: Address::from_name(&format!("c{i}")),
+                    amount: 1,
+                },
             ));
         }
         assert!(wait_until(|| chain.pending_txs().unwrap() == 0, 8000));

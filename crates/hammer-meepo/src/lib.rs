@@ -34,7 +34,7 @@ use hammer_chain::ledger::Ledger;
 use hammer_chain::mempool::Mempool;
 use hammer_chain::smallbank::Op;
 use hammer_chain::state::VersionedState;
-use hammer_chain::types::{Address, Block, SignedTransaction, TxId};
+use hammer_chain::types::{verify_signed_batch, Address, Block, SignedTransaction, TxId};
 use hammer_crypto::sig::SigParams;
 use hammer_net::{SimClock, SimNetwork};
 use parking_lot::{Mutex, RwLock};
@@ -291,8 +291,10 @@ fn shard_epoch_loop(inner: Arc<Inner>, shard_id: u32) {
             continue;
         }
         if inner.config.verify_signatures {
-            txs.retain(|tx| {
-                let ok = tx.verify(&inner.config.sig_params);
+            let verdicts = verify_signed_batch(&txs, &inner.config.sig_params);
+            let mut verdicts = verdicts.iter();
+            txs.retain(|_| {
+                let ok = *verdicts.next().expect("one verdict per tx");
                 if !ok {
                     inner.bad_sig.fetch_add(1, Ordering::Relaxed);
                 }
@@ -463,10 +465,7 @@ impl BlockchainClient for MeepoSim {
         // Route by the first touched account (the transaction's home
         // shard, where its debit executes).
         let touched = tx.tx.op.touched_accounts();
-        let shard = touched
-            .first()
-            .map(|a| self.shard_of(*a))
-            .unwrap_or(0);
+        let shard = touched.first().map(|a| self.shard_of(*a)).unwrap_or(0);
         let id = tx.id;
         self.inner.shards[shard as usize]
             .mempool
@@ -569,7 +568,14 @@ mod tests {
         chain.seed_account(a, 100, 0);
         chain.seed_account(b, 0, 0);
         chain
-            .submit(signed(1, Op::SendPayment { from: a, to: b, amount: 30 }))
+            .submit(signed(
+                1,
+                Op::SendPayment {
+                    from: a,
+                    to: b,
+                    amount: 30,
+                },
+            ))
             .unwrap();
         assert!(wait_until(|| chain.stats().committed == 1, 8000));
         assert_eq!(chain.account(a).unwrap().checking, 70);
@@ -587,13 +593,23 @@ mod tests {
         chain.seed_account(b, 5, 0);
         let before = chain.total_funds();
         chain
-            .submit(signed(1, Op::SendPayment { from: a, to: b, amount: 40 }))
+            .submit(signed(
+                1,
+                Op::SendPayment {
+                    from: a,
+                    to: b,
+                    amount: 40,
+                },
+            ))
             .unwrap();
         assert!(wait_until(|| chain.stats().cross_shard == 1, 8000));
         // Debit is immediate; the credit lands at the destination's next
         // epoch.
         assert_eq!(chain.account(a).unwrap().checking, 60);
-        assert!(wait_until(|| chain.account(b).unwrap().checking == 45, 8000));
+        assert!(wait_until(
+            || chain.account(b).unwrap().checking == 45,
+            8000
+        ));
         assert_eq!(chain.total_funds(), before);
         chain.shutdown();
     }
@@ -610,7 +626,10 @@ mod tests {
             .unwrap();
         assert!(wait_until(|| chain.stats().cross_shard == 1, 8000));
         assert_eq!(chain.account(a).unwrap().savings, 0);
-        assert!(wait_until(|| chain.account(b).unwrap().checking == 71, 8000));
+        assert!(wait_until(
+            || chain.account(b).unwrap().checking == 71,
+            8000
+        ));
         chain.shutdown();
     }
 
@@ -622,7 +641,14 @@ mod tests {
         chain.seed_account(a, 10, 0);
         chain.seed_account(b, 0, 0);
         chain
-            .submit(signed(1, Op::SendPayment { from: a, to: b, amount: 999 }))
+            .submit(signed(
+                1,
+                Op::SendPayment {
+                    from: a,
+                    to: b,
+                    amount: 999,
+                },
+            ))
             .unwrap();
         assert!(wait_until(|| chain.stats().failed == 1, 8000));
         assert_eq!(chain.stats().cross_shard, 0);
@@ -638,10 +664,22 @@ mod tests {
         chain.seed_account(a0, 100, 0);
         chain.seed_account(a1, 100, 0);
         let id0 = chain
-            .submit(signed(1, Op::DepositChecking { account: a0, amount: 1 }))
+            .submit(signed(
+                1,
+                Op::DepositChecking {
+                    account: a0,
+                    amount: 1,
+                },
+            ))
             .unwrap();
         let id1 = chain
-            .submit(signed(2, Op::DepositChecking { account: a1, amount: 1 }))
+            .submit(signed(
+                2,
+                Op::DepositChecking {
+                    account: a1,
+                    amount: 1,
+                },
+            ))
             .unwrap();
         assert!(wait_until(|| chain.stats().committed == 2, 8000));
         let b0 = chain.block_at(0, 1).unwrap().unwrap();
@@ -656,7 +694,10 @@ mod tests {
     #[test]
     fn unknown_shard_query_rejected() {
         let chain = fast_chain(MeepoConfig::default());
-        assert!(matches!(chain.latest_height(5), Err(ChainError::UnknownShard(5))));
+        assert!(matches!(
+            chain.latest_height(5),
+            Err(ChainError::UnknownShard(5))
+        ));
         chain.shutdown();
     }
 
@@ -686,7 +727,14 @@ mod tests {
                 continue;
             }
             chain
-                .submit(signed(i, Op::SendPayment { from, to, amount: 7 }))
+                .submit(signed(
+                    i,
+                    Op::SendPayment {
+                        from,
+                        to,
+                        amount: 7,
+                    },
+                ))
                 .unwrap();
             n += 1;
         }

@@ -163,7 +163,7 @@ mod tests {
         let sim = Duration::from_millis(500);
         let wall = clock.to_wall(sim);
         let back = clock.to_sim(wall);
-        let diff = if back > sim { back - sim } else { sim - back };
+        let diff = back.abs_diff(sim);
         assert!(diff < Duration::from_micros(10), "diff = {diff:?}");
     }
 
@@ -173,7 +173,7 @@ mod tests {
         let b = a.clone();
         let ta = a.now();
         let tb = b.now();
-        let diff = if tb > ta { tb - ta } else { ta - tb };
+        let diff = tb.abs_diff(ta);
         assert!(diff < Duration::from_millis(50));
     }
 

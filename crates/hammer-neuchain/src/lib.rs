@@ -24,7 +24,7 @@ use hammer_chain::events::CommitBus;
 use hammer_chain::ledger::Ledger;
 use hammer_chain::mempool::Mempool;
 use hammer_chain::state::VersionedState;
-use hammer_chain::types::{Block, SignedTransaction, TxId};
+use hammer_chain::types::{verify_signed_batch, Block, SignedTransaction, TxId};
 use hammer_crypto::sig::SigParams;
 use hammer_net::{SimClock, SimNetwork};
 use parking_lot::{Mutex, RwLock};
@@ -164,7 +164,10 @@ impl NeuchainSim {
 
     /// Seeds an account directly into world state (genesis allocation).
     pub fn seed_account(&self, account: hammer_chain::types::Address, checking: u64, savings: u64) {
-        self.inner.state.lock().seed_account(account, checking, savings);
+        self.inner
+            .state
+            .lock()
+            .seed_account(account, checking, savings);
     }
 
     /// Reads an account's state.
@@ -207,11 +210,13 @@ fn epoch_loop(inner: Arc<Inner>) {
         // derives the same order with no communication.
         txs.sort_by_key(|t| t.id);
 
-        // Signature verification (parallelised on real hardware; modelled
-        // as real CPU work here).
+        // Signature verification: the whole epoch batch goes through the
+        // shared-table batch verifier, amortising per-key precomputation.
         if inner.config.verify_signatures {
-            txs.retain(|tx| {
-                let ok = tx.verify(&inner.config.sig_params);
+            let verdicts = verify_signed_batch(&txs, &inner.config.sig_params);
+            let mut verdicts = verdicts.iter();
+            txs.retain(|_| {
+                let ok = *verdicts.next().expect("one verdict per tx");
                 if !ok {
                     inner.bad_sig.fetch_add(1, Ordering::Relaxed);
                 }
@@ -377,10 +382,19 @@ mod tests {
         let chain = fast_chain(NeuchainConfig::default());
         chain.seed_account(Address::from_name("a"), 100, 0);
         chain
-            .submit(signed(1, Op::DepositChecking { account: Address::from_name("a"), amount: 1 }))
+            .submit(signed(
+                1,
+                Op::DepositChecking {
+                    account: Address::from_name("a"),
+                    amount: 1,
+                },
+            ))
             .unwrap();
         assert!(wait_until(|| chain.stats().committed == 1, 5000));
-        assert_eq!(chain.account(Address::from_name("a")).unwrap().checking, 101);
+        assert_eq!(
+            chain.account(Address::from_name("a")).unwrap().checking,
+            101
+        );
         chain.shutdown();
     }
 
@@ -395,7 +409,13 @@ mod tests {
         for i in 0..20 {
             ids.push(
                 chain
-                    .submit(signed(i, Op::DepositChecking { account: Address::from_name("a"), amount: 1 }))
+                    .submit(signed(
+                        i,
+                        Op::DepositChecking {
+                            account: Address::from_name("a"),
+                            amount: 1,
+                        },
+                    ))
                     .unwrap(),
             );
         }
@@ -425,10 +445,16 @@ mod tests {
     fn bad_signature_dropped_entirely() {
         let chain = fast_chain(NeuchainConfig::default());
         chain.seed_account(Address::from_name("a"), 100, 0);
-        let mut tx = signed(1, Op::DepositChecking { account: Address::from_name("a"), amount: 1 });
+        let mut tx = signed(
+            1,
+            Op::DepositChecking {
+                account: Address::from_name("a"),
+                amount: 1,
+            },
+        );
         tx.tx.nonce = 999; // break the signature/id linkage
-        // The mempool accepts it (stateless), the epoch cut drops it.
-        // Note: tx.id no longer matches the body, so verify() fails.
+                           // The mempool accepts it (stateless), the epoch cut drops it.
+                           // Note: tx.id no longer matches the body, so verify() fails.
         chain.submit(tx).unwrap();
         assert!(wait_until(|| chain.stats().bad_sig == 1, 5000));
         assert_eq!(chain.stats().committed, 0);
@@ -439,7 +465,13 @@ mod tests {
     fn failed_execution_marked_invalid() {
         let chain = fast_chain(NeuchainConfig::default());
         let id = chain
-            .submit(signed(1, Op::WriteCheck { account: Address::from_name("ghost"), amount: 1 }))
+            .submit(signed(
+                1,
+                Op::WriteCheck {
+                    account: Address::from_name("ghost"),
+                    amount: 1,
+                },
+            ))
             .unwrap();
         assert!(wait_until(|| chain.stats().failed == 1, 5000));
         let b = chain.block_at(0, 1).unwrap().unwrap();
@@ -455,7 +487,13 @@ mod tests {
         chain.seed_account(Address::from_name("a"), 10_000_000, 0);
         for i in 0..2000 {
             chain
-                .submit(signed(i, Op::DepositChecking { account: Address::from_name("a"), amount: 1 }))
+                .submit(signed(
+                    i,
+                    Op::DepositChecking {
+                        account: Address::from_name("a"),
+                        amount: 1,
+                    },
+                ))
                 .unwrap();
         }
         assert!(wait_until(|| chain.stats().committed >= 2000, 10_000));
@@ -473,7 +511,13 @@ mod tests {
         chain.seed_account(Address::from_name("a"), 10_000, 0);
         for i in 0..30 {
             chain
-                .submit(signed(i, Op::DepositChecking { account: Address::from_name("a"), amount: 1 }))
+                .submit(signed(
+                    i,
+                    Op::DepositChecking {
+                        account: Address::from_name("a"),
+                        amount: 1,
+                    },
+                ))
                 .unwrap();
         }
         assert!(wait_until(|| chain.stats().committed >= 30, 8000));

@@ -42,7 +42,10 @@ impl CausalConv1d {
         dilation: usize,
         rng: &mut R,
     ) -> Self {
-        assert!(kernel > 0 && dilation > 0, "kernel and dilation must be positive");
+        assert!(
+            kernel > 0 && dilation > 0,
+            "kernel and dilation must be positive"
+        );
         CausalConv1d {
             in_channels,
             out_channels,
@@ -78,8 +81,8 @@ impl CausalConv1d {
                 let offset = kk * self.dilation;
                 if t >= offset {
                     let src = x.row(t - offset);
-                    let dst = &mut out.row_mut(t)
-                        [kk * self.in_channels..(kk + 1) * self.in_channels];
+                    let dst =
+                        &mut out.row_mut(t)[kk * self.in_channels..(kk + 1) * self.in_channels];
                     dst.copy_from_slice(src);
                 }
             }

@@ -321,10 +321,7 @@ mod tests {
     fn broadcast_and_reduce() {
         let x = Mat::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
         let bias = Mat::from_vec(1, 2, vec![10.0, 20.0]);
-        assert_eq!(
-            x.add_row_broadcast(&bias).data(),
-            &[11.0, 22.0, 13.0, 24.0]
-        );
+        assert_eq!(x.add_row_broadcast(&bias).data(), &[11.0, 22.0, 13.0, 24.0]);
         assert_eq!(x.sum_rows().data(), &[4.0, 6.0]);
     }
 

@@ -290,10 +290,7 @@ impl BiGru {
 impl Layer for BiGru {
     fn forward(&mut self, x: &Mat) -> Mat {
         let fwd = self.forward_gru.forward(x);
-        let bwd = self
-            .backward_gru
-            .forward(&x.reverse_rows())
-            .reverse_rows();
+        let bwd = self.backward_gru.forward(&x.reverse_rows()).reverse_rows();
         fwd.hcat(&bwd)
     }
 

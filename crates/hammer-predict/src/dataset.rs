@@ -19,7 +19,10 @@ impl Normalizer {
     /// Fits on a series.
     pub fn fit(series: &[f64]) -> Self {
         if series.is_empty() {
-            return Normalizer { mean: 0.0, std: 1.0 };
+            return Normalizer {
+                mean: 0.0,
+                std: 1.0,
+            };
         }
         let mean = series.iter().sum::<f64>() / series.len() as f64;
         let var = series.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / series.len() as f64;
@@ -75,7 +78,10 @@ impl Dataset {
             series.len()
         );
         let normalizer = Normalizer::fit(&series[..split]);
-        let train = series[..split].iter().map(|v| normalizer.normalize(*v)).collect();
+        let train = series[..split]
+            .iter()
+            .map(|v| normalizer.normalize(*v))
+            .collect();
         // Test windows may reach back into the train tail for context, so
         // keep `window` values of overlap.
         let test = series[split - window..]
@@ -135,8 +141,8 @@ mod tests {
         let norm = Normalizer::fit(&s);
         let normalized: Vec<f64> = s.iter().map(|v| norm.normalize(*v)).collect();
         let mean = normalized.iter().sum::<f64>() / normalized.len() as f64;
-        let var = normalized.iter().map(|v| (v - mean).powi(2)).sum::<f64>()
-            / normalized.len() as f64;
+        let var =
+            normalized.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / normalized.len() as f64;
         assert!(mean.abs() < 1e-9);
         assert!((var - 1.0).abs() < 1e-9);
     }
@@ -169,7 +175,7 @@ mod tests {
         let ds = Dataset::new(&s, 5, 0.8);
         assert_eq!(ds.train.len(), 80);
         assert_eq!(ds.test.len(), 25); // 20 + window overlap
-        // First test target must be the value at index 80 of the source.
+                                       // First test target must be the value at index 80 of the source.
         let first_target = ds.test_samples()[0].1;
         let expected = ds.normalizer.normalize(s[80]);
         assert!((first_target - expected).abs() < 1e-9);

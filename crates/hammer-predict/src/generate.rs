@@ -103,7 +103,10 @@ mod tests {
         let mut model = LinearModel::new(&config);
         let series = sine(60);
         model.fit(&series, &config);
-        let norm = Normalizer { mean: 1.0, std: 10.0 };
+        let norm = Normalizer {
+            mean: 1.0,
+            std: 10.0,
+        };
         let out = generate_denormalized(&mut model, &series[..6], 30, &norm);
         assert!(out.iter().all(|v| *v >= 0.0));
     }

@@ -125,7 +125,9 @@ impl SeqTrainer {
         // Only the last time step feeds the head (the final skip-feature
         // column belongs to the raw input, which takes no gradient).
         let mut d_seq = Mat::zeros(t_len, cols);
-        d_seq.row_mut(t_len - 1).copy_from_slice(&d_last.row(0)[..cols]);
+        d_seq
+            .row_mut(t_len - 1)
+            .copy_from_slice(&d_last.row(0)[..cols]);
         let _ = self.body.backward(&d_seq);
         let mut params = self.body.params_mut();
         params.extend(self.head.params_mut());
@@ -477,12 +479,7 @@ pub struct SeqTrainerHandle {
 impl SeqTrainerHandle {
     /// The vanilla recipe (the baselines' protocol): no skip connection,
     /// train until the loss converges.
-    pub fn vanilla(
-        body: Box<dyn Layer>,
-        head: Linear,
-        lr: f32,
-        window: usize,
-    ) -> Self {
+    pub fn vanilla(body: Box<dyn Layer>, head: Linear, lr: f32, window: usize) -> Self {
         SeqTrainerHandle {
             inner: SeqTrainer::vanilla(body, head, lr, window),
         }

@@ -5,6 +5,11 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::fmt::Write as _;
+
+/// Maximum nesting depth [`Value::parse`] accepts before returning a
+/// [`JsonError`]. Bounds stack use on adversarial inputs like `[[[[…]]]]`.
+pub const MAX_PARSE_DEPTH: usize = 128;
 
 /// A JSON value.
 #[derive(Clone, Debug, PartialEq)]
@@ -180,8 +185,15 @@ impl Value {
     /// Serialises to compact JSON text.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
-        self.write_json(&mut out);
+        self.to_json_into(&mut out);
         out
+    }
+
+    /// Serialises to compact JSON text, appending to a caller-supplied
+    /// buffer. Hot paths call `buf.clear()` and reuse one buffer across
+    /// messages, so steady-state encoding allocates nothing.
+    pub fn to_json_into(&self, out: &mut String) {
+        self.write_json(out);
     }
 
     fn write_json(&self, out: &mut String) {
@@ -189,13 +201,19 @@ impl Value {
             Value::Null => out.push_str("null"),
             Value::Bool(true) => out.push_str("true"),
             Value::Bool(false) => out.push_str("false"),
-            Value::Int(v) => out.push_str(&v.to_string()),
+            Value::Int(v) => {
+                // Format into a stack buffer: no transient String per number.
+                let mut buf = itoa_buf();
+                out.push_str(itoa(*v, &mut buf));
+            }
             Value::Float(f) => {
                 if f.is_finite() {
-                    // Ensure floats round-trip as floats.
-                    let s = format!("{f}");
-                    out.push_str(&s);
-                    if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+                    // Ensure floats round-trip as floats. Formatting goes
+                    // straight into `out`; the suffix check looks at the
+                    // bytes just written.
+                    let start = out.len();
+                    write!(out, "{f}").expect("writing to String cannot fail");
+                    if !out[start..].contains(['.', 'e', 'E']) {
                         out.push_str(".0");
                     }
                 } else {
@@ -237,9 +255,20 @@ impl Value {
     /// assert_eq!(v.get("xs").unwrap().at(2).unwrap().as_str(), Some("three"));
     /// ```
     pub fn parse(input: &str) -> Result<Value, JsonError> {
+        Value::parse_bytes(input.as_bytes())
+    }
+
+    /// Parses JSON from raw bytes (e.g. a reused transport receive buffer),
+    /// avoiding an up-front UTF-8 pass over the whole input: the parser is
+    /// byte-oriented and only validates UTF-8 inside string literals.
+    ///
+    /// Nesting deeper than [`MAX_PARSE_DEPTH`] is rejected with an error
+    /// rather than overflowing the stack.
+    pub fn parse_bytes(input: &[u8]) -> Result<Value, JsonError> {
         let mut p = Parser {
-            bytes: input.as_bytes(),
+            bytes: input,
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let v = p.parse_value()?;
@@ -255,8 +284,7 @@ impl Value {
         match self {
             Value::Array(items) => Value::Array(items.iter().map(Value::canonicalize).collect()),
             Value::Object(pairs) => {
-                let map: BTreeMap<&String, &Value> =
-                    pairs.iter().map(|(k, v)| (k, v)).collect();
+                let map: BTreeMap<&String, &Value> = pairs.iter().map(|(k, v)| (k, v)).collect();
                 Value::Object(
                     map.into_iter()
                         .map(|(k, v)| (k.clone(), v.canonicalize()))
@@ -274,29 +302,65 @@ impl fmt::Display for Value {
     }
 }
 
-fn write_json_string(s: &str, out: &mut String) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            '\u{08}' => out.push_str("\\b"),
-            '\u{0c}' => out.push_str("\\f"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
+/// Stack buffer sized for any `i64` in decimal (19 digits + sign).
+fn itoa_buf() -> [u8; 20] {
+    [0; 20]
+}
+
+/// Formats `v` into `buf` and returns the textual slice, with no heap
+/// allocation.
+fn itoa(v: i64, buf: &mut [u8; 20]) -> &str {
+    let mut magnitude = v.unsigned_abs();
+    let mut pos = buf.len();
+    loop {
+        pos -= 1;
+        buf[pos] = b'0' + (magnitude % 10) as u8;
+        magnitude /= 10;
+        if magnitude == 0 {
+            break;
         }
     }
+    if v < 0 {
+        pos -= 1;
+        buf[pos] = b'-';
+    }
+    std::str::from_utf8(&buf[pos..]).expect("decimal digits are ASCII")
+}
+
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    // Copy maximal runs of bytes that need no escaping in one push_str;
+    // every byte that does need escaping is ASCII, so slicing at those
+    // positions always lands on char boundaries.
+    let bytes = s.as_bytes();
+    let mut run_start = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        let escape: Option<&str> = match b {
+            b'"' => Some("\\\""),
+            b'\\' => Some("\\\\"),
+            b'\n' => Some("\\n"),
+            b'\r' => Some("\\r"),
+            b'\t' => Some("\\t"),
+            0x08 => Some("\\b"),
+            0x0c => Some("\\f"),
+            b if b < 0x20 => None, // rare control chars: \uXXXX below
+            _ => continue,
+        };
+        out.push_str(&s[run_start..i]);
+        match escape {
+            Some(esc) => out.push_str(esc),
+            None => write!(out, "\\u{:04x}", b).expect("writing to String cannot fail"),
+        }
+        run_start = i + 1;
+    }
+    out.push_str(&s[run_start..]);
     out.push('"');
 }
 
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -400,17 +464,35 @@ impl<'a> Parser<'a> {
             .map_err(|_| self.err("number out of range"))
     }
 
+    /// Appends `bytes[run_start..self.pos]` to `out` after one UTF-8
+    /// validation pass over the run.
+    fn push_run(&self, out: &mut String, run_start: usize) -> Result<(), JsonError> {
+        if run_start < self.pos {
+            let run = std::str::from_utf8(&self.bytes[run_start..self.pos])
+                .map_err(|_| self.err("invalid UTF-8"))?;
+            out.push_str(run);
+        }
+        Ok(())
+    }
+
     fn parse_string(&mut self) -> Result<String, JsonError> {
         self.expect(b'"')?;
         let mut out = String::new();
+        // Unescaped content is copied in maximal runs (one validation +
+        // one memcpy per run), not char-by-char. Every byte that ends a
+        // run (quote, backslash, control) is ASCII, so run boundaries are
+        // always UTF-8 sequence boundaries.
+        let mut run_start = self.pos;
         loop {
             match self.peek() {
                 None => return Err(self.err("unterminated string")),
                 Some(b'"') => {
+                    self.push_run(&mut out, run_start)?;
                     self.pos += 1;
                     return Ok(out);
                 }
                 Some(b'\\') => {
+                    self.push_run(&mut out, run_start)?;
                     self.pos += 1;
                     match self.peek() {
                         Some(b'"') => out.push('"'),
@@ -432,8 +514,7 @@ impl<'a> Parser<'a> {
                                 if !(0xDC00..=0xDFFF).contains(&low) {
                                     return Err(self.err("invalid low surrogate"));
                                 }
-                                let combined =
-                                    0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+                                let combined = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
                                 char::from_u32(combined)
                                     .ok_or_else(|| self.err("invalid surrogate pair"))?
                             } else if (0xDC00..=0xDFFF).contains(&cp) {
@@ -442,21 +523,16 @@ impl<'a> Parser<'a> {
                                 char::from_u32(cp).ok_or_else(|| self.err("invalid codepoint"))?
                             };
                             out.push(c);
-                            continue; // parse_hex4 already advanced
+                            run_start = self.pos; // parse_hex4 already advanced
+                            continue;
                         }
                         _ => return Err(self.err("invalid escape")),
                     }
                     self.pos += 1;
+                    run_start = self.pos;
                 }
                 Some(c) if c < 0x20 => return Err(self.err("control character in string")),
-                Some(_) => {
-                    // Consume one UTF-8 encoded char.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = rest.chars().next().expect("nonempty");
-                    out.push(c);
-                    self.pos += c.len_utf8();
-                }
+                Some(_) => self.pos += 1, // part of the current run
             }
         }
     }
@@ -472,12 +548,23 @@ impl<'a> Parser<'a> {
         Ok(cp)
     }
 
+    fn enter(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            Err(self.err("nesting depth limit exceeded"))
+        } else {
+            Ok(())
+        }
+    }
+
     fn parse_array(&mut self) -> Result<Value, JsonError> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Array(items));
         }
         loop {
@@ -488,6 +575,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Array(items));
                 }
                 _ => return Err(self.err("expected ',' or ']'")),
@@ -497,10 +585,12 @@ impl<'a> Parser<'a> {
 
     fn parse_object(&mut self) -> Result<Value, JsonError> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Object(pairs));
         }
         loop {
@@ -516,6 +606,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Object(pairs));
                 }
                 _ => return Err(self.err("expected ',' or '}'")),
@@ -545,7 +636,14 @@ mod tests {
     fn parse_nested() {
         let v = Value::parse(r#"{"a": [1, {"b": null}], "c": "x"}"#).unwrap();
         assert_eq!(v.get("a").unwrap().at(0).unwrap().as_i64(), Some(1));
-        assert!(v.get("a").unwrap().at(1).unwrap().get("b").unwrap().is_null());
+        assert!(v
+            .get("a")
+            .unwrap()
+            .at(1)
+            .unwrap()
+            .get("b")
+            .unwrap()
+            .is_null());
         assert_eq!(v.get("c").unwrap().as_str(), Some("x"));
     }
 
@@ -564,8 +662,21 @@ mod tests {
     #[test]
     fn reject_invalid() {
         for bad in [
-            "", "tru", "nul", "{", "[1,", "{\"a\"}", "{\"a\":}", "01", "1.", "1e",
-            "\"unterminated", "[1 2]", "{\"a\":1,}", "\"\\x\"", "42 43",
+            "",
+            "tru",
+            "nul",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\":}",
+            "01",
+            "1.",
+            "1e",
+            "\"unterminated",
+            "[1 2]",
+            "{\"a\":1,}",
+            "\"\\x\"",
+            "42 43",
             "\"\\ud800\"", // lone high surrogate
         ] {
             assert!(Value::parse(bad).is_err(), "should reject: {bad:?}");
@@ -606,7 +717,10 @@ mod tests {
     fn canonicalize_sorts_keys() {
         let v = Value::object([
             ("z", Value::from(1)),
-            ("a", Value::object([("y", Value::from(2)), ("b", Value::from(3))])),
+            (
+                "a",
+                Value::object([("y", Value::from(2)), ("b", Value::from(3))]),
+            ),
         ]);
         assert_eq!(v.canonicalize().to_json(), r#"{"a":{"b":3,"y":2},"z":1}"#);
     }
@@ -622,6 +736,61 @@ mod tests {
     }
 
     #[test]
+    fn deep_nesting_returns_error_not_overflow() {
+        // Arrays, objects, and a mixed tower all hit the depth limit.
+        let deep_array = "[".repeat(4096) + &"]".repeat(4096);
+        let err = Value::parse(&deep_array).unwrap_err();
+        assert!(err.message.contains("depth"), "{err}");
+
+        let deep_object = "{\"k\":".repeat(4096) + "1" + &"}".repeat(4096);
+        assert!(Value::parse(&deep_object).is_err());
+
+        let mixed = "[{\"k\":".repeat(2048) + "1" + &"}]".repeat(2048);
+        assert!(Value::parse(&mixed).is_err());
+    }
+
+    #[test]
+    fn nesting_below_limit_is_accepted() {
+        let depth = MAX_PARSE_DEPTH - 1;
+        let ok = "[".repeat(depth) + &"]".repeat(depth);
+        assert!(Value::parse(&ok).is_ok());
+        let too_deep = "[".repeat(MAX_PARSE_DEPTH + 1) + &"]".repeat(MAX_PARSE_DEPTH + 1);
+        assert!(Value::parse(&too_deep).is_err());
+    }
+
+    #[test]
+    fn parse_bytes_matches_parse() {
+        let text = r#"{"a": [1, 2.5, "é😀\n"], "b": null}"#;
+        assert_eq!(
+            Value::parse_bytes(text.as_bytes()).unwrap(),
+            Value::parse(text).unwrap()
+        );
+        // Invalid UTF-8 inside a string literal is rejected.
+        assert!(Value::parse_bytes(b"\"\xff\xfe\"").is_err());
+        // ...and outside string literals too.
+        assert!(Value::parse_bytes(b"\xff").is_err());
+    }
+
+    #[test]
+    fn to_json_into_appends_to_buffer() {
+        let v = Value::object([("k", Value::from(1))]);
+        let mut buf = String::from("prefix:");
+        v.to_json_into(&mut buf);
+        assert_eq!(buf, "prefix:{\"k\":1}");
+        buf.clear();
+        v.to_json_into(&mut buf);
+        assert_eq!(buf, v.to_json());
+    }
+
+    #[test]
+    fn itoa_formats_extremes() {
+        for v in [0i64, 1, -1, 42, -9, i64::MAX, i64::MIN] {
+            let mut buf = itoa_buf();
+            assert_eq!(itoa(v, &mut buf), v.to_string());
+        }
+    }
+
+    #[test]
     fn as_u64_rejects_negative() {
         assert_eq!(Value::Int(-1).as_u64(), None);
         assert_eq!(Value::Int(5).as_u64(), Some(5));
@@ -629,7 +798,10 @@ mod tests {
 
     #[test]
     fn from_conversions() {
-        assert_eq!(Value::from(vec![1i64, 2]), Value::Array(vec![Value::Int(1), Value::Int(2)]));
+        assert_eq!(
+            Value::from(vec![1i64, 2]),
+            Value::Array(vec![Value::Int(1), Value::Int(2)])
+        );
         assert_eq!(Value::from(None::<i64>), Value::Null);
         assert_eq!(Value::from(Some(3i64)), Value::Int(3));
         assert_eq!(Value::from(u64::MAX), Value::Float(u64::MAX as f64));
@@ -640,14 +812,13 @@ mod tests {
             Just(Value::Null),
             any::<bool>().prop_map(Value::Bool),
             any::<i64>().prop_map(Value::Int),
-            (-1e15f64..1e15f64).prop_map(|f| Value::Float(f)),
+            (-1e15f64..1e15f64).prop_map(Value::Float),
             "[a-zA-Z0-9 _\\\\\"\n\t\u{e9}\u{1F600}]{0,12}".prop_map(Value::String),
         ];
         leaf.prop_recursive(3, 24, 6, |inner| {
             prop_oneof![
                 proptest::collection::vec(inner.clone(), 0..6).prop_map(Value::Array),
-                proptest::collection::vec(("[a-z]{1,6}", inner), 0..6)
-                    .prop_map(Value::Object),
+                proptest::collection::vec(("[a-z]{1,6}", inner), 0..6).prop_map(Value::Object),
             ]
         })
     }
@@ -660,6 +831,18 @@ mod tests {
             // Floats may not compare bit-exactly after formatting; compare
             // re-serialised text instead.
             prop_assert_eq!(parsed.to_json(), text);
+        }
+
+        #[test]
+        fn prop_parse_bytes_to_json_into_roundtrip(v in arb_value()) {
+            // parse_bytes ∘ to_json_into == id (modulo float reformatting,
+            // so compare re-serialised text).
+            let mut buf = String::new();
+            v.to_json_into(&mut buf);
+            let parsed = Value::parse_bytes(buf.as_bytes()).unwrap();
+            let mut buf2 = String::new();
+            parsed.to_json_into(&mut buf2);
+            prop_assert_eq!(buf, buf2);
         }
 
         #[test]

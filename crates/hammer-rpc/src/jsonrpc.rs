@@ -144,9 +144,19 @@ impl RpcRequest {
         self.to_value().to_json()
     }
 
+    /// Serialises to JSON text, appending to a reusable buffer.
+    pub fn to_json_into(&self, out: &mut String) {
+        self.to_value().to_json_into(out);
+    }
+
     /// Parses from JSON text.
     pub fn parse(text: &str) -> Result<Self, RpcError> {
-        let v = Value::parse(text)
+        Self::parse_bytes(text.as_bytes())
+    }
+
+    /// Parses from raw JSON bytes (e.g. a reused receive buffer).
+    pub fn parse_bytes(bytes: &[u8]) -> Result<Self, RpcError> {
+        let v = Value::parse_bytes(bytes)
             .map_err(|e| RpcError::new(RpcErrorCode::ParseError, e.to_string()))?;
         Self::from_value(&v)
     }
@@ -246,9 +256,19 @@ impl RpcResponse {
         self.to_value().to_json()
     }
 
+    /// Serialises to JSON text, appending to a reusable buffer.
+    pub fn to_json_into(&self, out: &mut String) {
+        self.to_value().to_json_into(out);
+    }
+
     /// Parses from JSON text.
     pub fn parse(text: &str) -> Result<Self, RpcError> {
-        let v = Value::parse(text)
+        Self::parse_bytes(text.as_bytes())
+    }
+
+    /// Parses from raw JSON bytes (e.g. a reused receive buffer).
+    pub fn parse_bytes(bytes: &[u8]) -> Result<Self, RpcError> {
+        let v = Value::parse_bytes(bytes)
             .map_err(|e| RpcError::new(RpcErrorCode::ParseError, e.to_string()))?;
         Self::from_value(&v)
     }
@@ -361,8 +381,16 @@ mod tests {
     #[test]
     fn batch_roundtrip() {
         let batch = RpcBatch(vec![
-            RpcRequest { id: 1, method: "a".into(), params: Value::Null },
-            RpcRequest { id: 2, method: "b".into(), params: Value::from(7) },
+            RpcRequest {
+                id: 1,
+                method: "a".into(),
+                params: Value::Null,
+            },
+            RpcRequest {
+                id: 2,
+                method: "b".into(),
+                params: Value::from(7),
+            },
         ]);
         let parsed = RpcBatch::parse(&batch.to_json()).unwrap();
         assert_eq!(parsed, batch);

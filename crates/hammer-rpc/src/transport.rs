@@ -85,11 +85,20 @@ impl RpcServer {
     ///
     /// This is the wire entry point a TCP listener would call.
     pub fn handle_text(&self, text: &str) -> String {
-        let response = match RpcRequest::parse(text) {
+        let mut out = String::new();
+        self.handle_bytes_into(text.as_bytes(), &mut out);
+        out
+    }
+
+    /// Handles raw JSON-RPC request bytes, appending the response text to a
+    /// caller-supplied buffer — the allocation-free twin of
+    /// [`RpcServer::handle_text`] for transports that reuse wire buffers.
+    pub fn handle_bytes_into(&self, request: &[u8], out: &mut String) {
+        let response = match RpcRequest::parse_bytes(request) {
             Ok(req) => self.handle(req),
             Err(err) => RpcResponse::error(0, err),
         };
-        response.to_json()
+        response.to_json_into(out);
     }
 
     /// Handles a JSON-RPC 2.0 batch (array) of requests, returning the
@@ -136,9 +145,20 @@ pub struct RpcClient {
     next_id: Arc<AtomicU64>,
 }
 
+thread_local! {
+    /// Per-thread (request, response) wire buffers reused across calls, so
+    /// steady-state submission does no transient text allocations.
+    static WIRE_BUFS: std::cell::RefCell<(String, String)> =
+        const { std::cell::RefCell::new((String::new(), String::new())) };
+}
+
 impl RpcClient {
     /// Calls `method` with `params`, crossing a full JSON encode/decode
     /// round trip, and returns the result value.
+    ///
+    /// The wire text on both directions goes through thread-local reusable
+    /// buffers; the encode/parse work still happens on every call (the
+    /// framing cost stays honest), only the allocations are amortised.
     pub fn call(&self, method: &str, params: Value) -> Result<Value, RpcError> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let req = RpcRequest {
@@ -146,9 +166,17 @@ impl RpcClient {
             method: method.to_owned(),
             params,
         };
-        let wire_request = req.to_json();
-        let wire_response = self.server.handle_text(&wire_request);
-        let resp = RpcResponse::parse(&wire_response)?;
+        // Take the buffers out of the slot (a re-entrant call from a
+        // handler on this thread just starts from fresh empty ones).
+        let (mut req_buf, mut resp_buf) = WIRE_BUFS.with(|b| std::mem::take(&mut *b.borrow_mut()));
+        req_buf.clear();
+        resp_buf.clear();
+        req.to_json_into(&mut req_buf);
+        self.server
+            .handle_bytes_into(req_buf.as_bytes(), &mut resp_buf);
+        let parsed = RpcResponse::parse_bytes(resp_buf.as_bytes());
+        WIRE_BUFS.with(|b| *b.borrow_mut() = (req_buf, resp_buf));
+        let resp = parsed?;
         debug_assert_eq!(resp.id, id, "transport must echo the request id");
         resp.outcome
     }
@@ -174,7 +202,10 @@ mod tests {
         });
         let client = server.client();
         let result = client
-            .call("add", Value::object([("a", Value::from(2)), ("b", Value::from(40))]))
+            .call(
+                "add",
+                Value::object([("a", Value::from(2)), ("b", Value::from(40))]),
+            )
             .unwrap();
         assert_eq!(result, Value::Int(42));
     }
@@ -190,7 +221,9 @@ mod tests {
     #[test]
     fn handler_errors_propagate() {
         let server = RpcServer::new("test");
-        server.register("fail", |_| Err(RpcError::application(-1001, "chain stalled")));
+        server.register("fail", |_| {
+            Err(RpcError::application(-1001, "chain stalled"))
+        });
         let client = server.client();
         let err = client.call("fail", Value::Null).unwrap_err();
         assert_eq!(err.code, RpcErrorCode::Application(-1001));
@@ -204,7 +237,10 @@ mod tests {
         let resp = RpcResponse::parse(&resp_text).unwrap();
         assert!(matches!(
             resp.outcome,
-            Err(RpcError { code: RpcErrorCode::ParseError, .. })
+            Err(RpcError {
+                code: RpcErrorCode::ParseError,
+                ..
+            })
         ));
     }
 
@@ -238,9 +274,21 @@ mod tests {
             Ok(Value::from(v * 2))
         });
         let batch = crate::jsonrpc::RpcBatch(vec![
-            RpcRequest { id: 1, method: "double".into(), params: Value::from(4) },
-            RpcRequest { id: 2, method: "missing".into(), params: Value::Null },
-            RpcRequest { id: 3, method: "double".into(), params: Value::from(5) },
+            RpcRequest {
+                id: 1,
+                method: "double".into(),
+                params: Value::from(4),
+            },
+            RpcRequest {
+                id: 2,
+                method: "missing".into(),
+                params: Value::Null,
+            },
+            RpcRequest {
+                id: 3,
+                method: "double".into(),
+                params: Value::from(5),
+            },
         ]);
         let out = server.handle_batch_text(&batch.to_json());
         let v = Value::parse(&out).unwrap();
@@ -258,7 +306,10 @@ mod tests {
         let server = RpcServer::new("test");
         server.register("v", |_| Ok(Value::from(1)));
         server.register("v", |_| Ok(Value::from(2)));
-        assert_eq!(server.client().call("v", Value::Null).unwrap(), Value::Int(2));
+        assert_eq!(
+            server.client().call("v", Value::Null).unwrap(),
+            Value::Int(2)
+        );
         assert_eq!(server.method_names(), vec!["v"]);
     }
 

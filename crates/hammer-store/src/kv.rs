@@ -93,9 +93,7 @@ impl KvStore {
     /// and returns the new value. Overwrites non-counter values.
     pub fn incr(&self, key: &str, delta: i64) -> i64 {
         let mut shard = self.shard(key).write();
-        let entry = shard
-            .entry(key.to_owned())
-            .or_insert(KvValue::Counter(0));
+        let entry = shard.entry(key.to_owned()).or_insert(KvValue::Counter(0));
         match entry {
             KvValue::Counter(v) => {
                 *v += delta;

@@ -91,7 +91,10 @@ pub fn render_series(title: &str, series: &[f64], height: usize) -> String {
             }
         }
     }
-    let mut out = format!("{title}  (min={min:.2}, max={max:.2}, n={})\n", series.len());
+    let mut out = format!(
+        "{title}  (min={min:.2}, max={max:.2}, n={})\n",
+        series.len()
+    );
     for (y, row) in grid.iter().enumerate() {
         let axis_val = max - span * (y as f64) / (height as f64 - 1.0);
         out.push_str(&format!("{axis_val:>10.1} |"));
@@ -111,7 +114,11 @@ pub fn to_csv(header: &[&str], rows: &[Vec<String>]) -> String {
             cell.to_owned()
         }
     }
-    let mut out = header.iter().map(|h| escape(h)).collect::<Vec<_>>().join(",");
+    let mut out = header
+        .iter()
+        .map(|h| escape(h))
+        .collect::<Vec<_>>()
+        .join(",");
     out.push('\n');
     for row in rows {
         out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
@@ -148,11 +155,7 @@ mod tests {
 
     #[test]
     fn bars_scale_to_max() {
-        let out = render_bars(
-            "tps",
-            &[("eth".into(), 10.0), ("neu".into(), 100.0)],
-            20,
-        );
+        let out = render_bars("tps", &[("eth".into(), 10.0), ("neu".into(), 100.0)], 20);
         let eth_bar = out.lines().find(|l| l.starts_with("eth")).unwrap();
         let neu_bar = out.lines().find(|l| l.starts_with("neu")).unwrap();
         let count = |s: &str| s.chars().filter(|c| *c == '█').count();
@@ -182,10 +185,7 @@ mod tests {
 
     #[test]
     fn csv_escapes_special_cells() {
-        let out = to_csv(
-            &["k", "v"],
-            &[vec!["a,b".into(), "say \"hi\"".into()]],
-        );
+        let out = to_csv(&["k", "v"], &[vec!["a,b".into(), "say \"hi\"".into()]]);
         assert_eq!(out, "k,v\n\"a,b\",\"say \"\"hi\"\"\"\n");
     }
 

@@ -613,7 +613,10 @@ mod tests {
              FROM Performance",
         )
         .unwrap();
-        assert_eq!(result.columns, vec!["tx_id", "start_time", "end_time", "Latency"]);
+        assert_eq!(
+            result.columns,
+            vec!["tx_id", "start_time", "end_time", "Latency"]
+        );
         assert_eq!(result.rows.len(), 5);
         assert_eq!(result.rows[0], vec!["1", "0", "0.4", "400"]);
         // Pending row: NULL end time and latency.
@@ -633,9 +636,11 @@ mod tests {
     fn numeric_comparisons() {
         let store = seeded_store();
         let result = query(&store, "SELECT tx_id FROM Performance WHERE tx_id > 3").unwrap();
-        assert_eq!(result.rows, vec![vec!["4".to_owned()], vec!["5".to_owned()]]);
-        let result =
-            query(&store, "SELECT tx_id FROM Performance WHERE client_id != 0").unwrap();
+        assert_eq!(
+            result.rows,
+            vec![vec!["4".to_owned()], vec!["5".to_owned()]]
+        );
+        let result = query(&store, "SELECT tx_id FROM Performance WHERE client_id != 0").unwrap();
         assert_eq!(result.rows.len(), 3); // tx 1, 3, 5 have client_id 1
     }
 

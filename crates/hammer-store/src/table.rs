@@ -32,8 +32,7 @@ pub struct PerfRow {
 impl PerfRow {
     /// Transaction latency, when completed.
     pub fn latency(&self) -> Option<Duration> {
-        self.end_time
-            .map(|e| e.saturating_sub(self.start_time))
+        self.end_time.map(|e| e.saturating_sub(self.start_time))
     }
 }
 

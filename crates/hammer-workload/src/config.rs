@@ -131,7 +131,10 @@ impl WorkloadConfig {
             ("distribution", dist),
             ("total_txs", Value::from(self.total_txs)),
             ("clients", Value::from(self.clients as u64)),
-            ("threads_per_client", Value::from(self.threads_per_client as u64)),
+            (
+                "threads_per_client",
+                Value::from(self.threads_per_client as u64),
+            ),
             ("initial_checking", Value::from(self.initial_checking)),
             ("initial_savings", Value::from(self.initial_savings)),
             ("seed", Value::from(self.seed)),
@@ -153,9 +156,7 @@ impl WorkloadConfig {
                 Some("zipfian") => AccessDistribution::Zipfian {
                     theta: d.get("theta").and_then(Value::as_f64).unwrap_or(0.99),
                 },
-                Some(other) => {
-                    return Err(ConfigError(format!("unknown distribution '{other}'")))
-                }
+                Some(other) => return Err(ConfigError(format!("unknown distribution '{other}'"))),
             },
         };
         let get_u64 =
@@ -180,10 +181,8 @@ impl WorkloadConfig {
             distribution,
             total_txs: get_u64("total_txs", defaults.total_txs as u64) as usize,
             clients: get_u64("clients", defaults.clients as u64) as u32,
-            threads_per_client: get_u64(
-                "threads_per_client",
-                defaults.threads_per_client as u64,
-            ) as u32,
+            threads_per_client: get_u64("threads_per_client", defaults.threads_per_client as u64)
+                as u32,
             initial_checking: get_u64("initial_checking", defaults.initial_checking),
             initial_savings: get_u64("initial_savings", defaults.initial_savings),
             seed: get_u64("seed", defaults.seed),
@@ -302,8 +301,7 @@ mod tests {
 
     #[test]
     fn zipfian_default_theta() {
-        let parsed =
-            WorkloadConfig::parse(r#"{"distribution": {"type": "zipfian"}}"#).unwrap();
+        let parsed = WorkloadConfig::parse(r#"{"distribution": {"type": "zipfian"}}"#).unwrap();
         assert_eq!(
             parsed.distribution,
             AccessDistribution::Zipfian { theta: 0.99 }

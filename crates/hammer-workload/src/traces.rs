@@ -87,7 +87,10 @@ impl TraceSpec {
             TraceKind::Nft => nft_series(self.hours, &mut rng),
             TraceKind::Sandbox => sandbox_series(self.hours, &mut rng),
         };
-        rescale(raw, self.kind.paper_total() as f64 * self.hours as f64 / 300.0)
+        rescale(
+            raw,
+            self.kind.paper_total() as f64 * self.hours as f64 / 300.0,
+        )
     }
 }
 
@@ -286,7 +289,11 @@ mod tests {
     #[test]
     fn nft_has_bursts() {
         let stats = trace_stats(&TraceSpec::paper(TraceKind::Nft, 3).generate());
-        assert!(stats.peak_to_mean > 2.0, "peak/mean = {}", stats.peak_to_mean);
+        assert!(
+            stats.peak_to_mean > 2.0,
+            "peak/mean = {}",
+            stats.peak_to_mean
+        );
     }
 
     #[test]

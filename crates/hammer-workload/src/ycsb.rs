@@ -60,7 +60,9 @@ impl YcsbGenerator {
     /// Generates the next operation following the configured read mix.
     pub fn next_op(&mut self) -> Op {
         if self.rng.gen::<f64>() < self.config.read_ratio {
-            Op::KvGet { key: self.pick_key() }
+            Op::KvGet {
+                key: self.pick_key(),
+            }
         } else {
             Op::KvPut {
                 key: self.pick_key(),

@@ -55,7 +55,15 @@ fn main() {
     println!(
         "\n{}",
         render_table(
-            &["chain", "tps", "mean_lat_s", "p95_lat_s", "committed", "failed", "timed_out"],
+            &[
+                "chain",
+                "tps",
+                "mean_lat_s",
+                "p95_lat_s",
+                "committed",
+                "failed",
+                "timed_out"
+            ],
             &rows
         )
     );

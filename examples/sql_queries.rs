@@ -65,10 +65,13 @@ fn main() {
     )
     .unwrap();
     println!("Table II TPS statement:");
-    println!("{}", render_table(
-        &tps.columns.iter().map(String::as_str).collect::<Vec<_>>(),
-        &tps.rows,
-    ));
+    println!(
+        "{}",
+        render_table(
+            &tps.columns.iter().map(String::as_str).collect::<Vec<_>>(),
+            &tps.rows,
+        )
+    );
 
     // The paper's latency statement (first rows shown).
     let latency = query(
@@ -78,11 +81,21 @@ fn main() {
          FROM Performance",
     )
     .unwrap();
-    println!("Table II latency statement (first 8 of {} rows):", latency.rows.len());
-    println!("{}", render_table(
-        &latency.columns.iter().map(String::as_str).collect::<Vec<_>>(),
-        &latency.rows.iter().take(8).cloned().collect::<Vec<_>>(),
-    ));
+    println!(
+        "Table II latency statement (first 8 of {} rows):",
+        latency.rows.len()
+    );
+    println!(
+        "{}",
+        render_table(
+            &latency
+                .columns
+                .iter()
+                .map(String::as_str)
+                .collect::<Vec<_>>(),
+            &latency.rows.iter().take(8).cloned().collect::<Vec<_>>(),
+        )
+    );
 
     // A Grafana-style ad-hoc drill-down.
     let slow = query(
@@ -92,8 +105,11 @@ fn main() {
     )
     .unwrap();
     println!("ad-hoc: committed txs slower than 1.5s:");
-    println!("{}", render_table(
-        &slow.columns.iter().map(String::as_str).collect::<Vec<_>>(),
-        &slow.rows,
-    ));
+    println!(
+        "{}",
+        render_table(
+            &slow.columns.iter().map(String::as_str).collect::<Vec<_>>(),
+            &slow.rows,
+        )
+    );
 }

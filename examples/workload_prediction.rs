@@ -80,7 +80,11 @@ fn main() {
         "{}",
         render_series(
             "measured committed tx per simulated second",
-            &report.tps_series.iter().map(|v| *v as f64).collect::<Vec<_>>(),
+            &report
+                .tps_series
+                .iter()
+                .map(|v| *v as f64)
+                .collect::<Vec<_>>(),
             8
         )
     );

@@ -1,0 +1,36 @@
+#!/usr/bin/env sh
+# Runs the `roundtrip` Criterion group and snapshots machine-readable
+# results to BENCH_roundtrip.json (one JSON object per line, appended by
+# the harness via CRITERION_JSON). Exits non-zero if the windowed
+# fixed-base modexp does not hold its >=3x speedup over generic
+# square-and-multiply.
+#
+# Usage: scripts/bench_snapshot.sh [output.json]
+set -eu
+
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_roundtrip.json}"
+case "$OUT" in
+    /*) OUT_ABS="$OUT" ;;
+    *) OUT_ABS="$(pwd)/$OUT" ;;
+esac
+
+: > "$OUT_ABS"
+CRITERION_JSON="$OUT_ABS" cargo bench --offline -p bench --bench roundtrip
+
+generic=$(awk -F'"mean_ns":' '/"roundtrip\/modexp_generic"/ { split($2, a, ","); print a[1] }' "$OUT_ABS")
+fixed=$(awk -F'"mean_ns":' '/"roundtrip\/modexp_fixed_base"/ { split($2, a, ","); print a[1] }' "$OUT_ABS")
+if [ -z "$generic" ] || [ -z "$fixed" ]; then
+    echo "bench_snapshot: modexp results missing from $OUT" >&2
+    exit 1
+fi
+
+awk -v g="$generic" -v f="$fixed" 'BEGIN {
+    r = g / f
+    printf "fixed-base modexp speedup: %.1fx (generic %.0f ns/batch -> windowed %.0f ns/batch)\n", r, g, f
+    if (r < 3.0) {
+        print "bench_snapshot: speedup below the 3x floor" > "/dev/stderr"
+        exit 1
+    }
+}'
+echo "snapshot written to $OUT"

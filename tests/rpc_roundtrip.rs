@@ -10,8 +10,8 @@ use hammer::chain::smallbank::Op;
 use hammer::chain::types::{Address, Transaction};
 use hammer::crypto::sig::SigParams;
 use hammer::crypto::Keypair;
-use hammer::neuchain::{NeuchainConfig, NeuchainSim};
 use hammer::net::{LinkConfig, SimClock, SimNetwork};
+use hammer::neuchain::{NeuchainConfig, NeuchainSim};
 
 fn wait_until(pred: impl Fn() -> bool, wall_ms: u64) -> bool {
     let deadline = std::time::Instant::now() + Duration::from_millis(wall_ms);
@@ -82,7 +82,10 @@ fn evaluation_through_json_rpc_matches_direct_access() {
     }
     assert_eq!(found, 50);
 
-    assert_eq!(chain.account(Address::from_name("acct")).unwrap().checking, 1_000_050);
+    assert_eq!(
+        chain.account(Address::from_name("acct")).unwrap().checking,
+        1_000_050
+    );
     rpc.shutdown();
 }
 

@@ -37,7 +37,9 @@ fn all_strategies_produce_identical_signatures() {
     let parallel = sign_async(batch(n), &keypair, &params, 4);
     assert_eq!(serial, parallel, "async differs from serial");
 
-    let mut streamed: Vec<_> = sign_pipelined(batch(n), keypair, params, 4).iter().collect();
+    let mut streamed: Vec<_> = sign_pipelined(batch(n), keypair, params, 4)
+        .iter()
+        .collect();
     streamed.sort_by_key(|tx| tx.tx.nonce);
     let mut ordered = serial;
     ordered.sort_by_key(|tx| tx.tx.nonce);

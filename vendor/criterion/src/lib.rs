@@ -1,0 +1,510 @@
+//! Offline stand-in for the `criterion` crate (0.5 API subset).
+//!
+//! The build environment has no access to crates.io, so this crate
+//! implements the benchmark-harness surface the workspace's benches
+//! use: `Criterion::benchmark_group`, `bench_function` /
+//! `bench_with_input`, `Bencher::iter` / `iter_batched`, `Throughput`,
+//! `BenchmarkId`, and the `criterion_group!` / `criterion_main!`
+//! macros. There is no statistical analysis or HTML report — each
+//! benchmark is calibrated, sampled, and summarised as
+//! `[min mean max]` wall-clock per iteration plus derived throughput.
+//!
+//! Knobs (environment variables):
+//! - `CRITERION_SAMPLE_MS`: target per-sample time in ms (default 10).
+//! - `CRITERION_JSON`: append one JSON object per benchmark to this
+//!   file (`{"id": ..., "mean_ns": ..., ...}`), so scripts can capture
+//!   machine-readable results without parsing terminal output.
+//!
+//! Like real criterion, a `--test` argument (passed by `cargo test`
+//! to `harness = false` bench targets) switches to test mode: every
+//! routine runs exactly once and no timings are reported. A bare
+//! (non-flag) argument acts as a substring filter on benchmark ids.
+
+use std::fmt;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup cost. The stand-in times each
+/// routine invocation individually, so the variants behave the same;
+/// they exist for API compatibility.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// Work performed per iteration, used to derive throughput.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iterations process this many abstract elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: optional function name plus optional
+/// parameter, rendered as `function/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id distinguished only by its parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self) -> String {
+        match (&self.function, &self.parameter) {
+            (Some(f), Some(p)) => format!("{f}/{p}"),
+            (Some(f), None) => f.clone(),
+            (None, Some(p)) => p.clone(),
+            (None, None) => String::new(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(function: &str) -> Self {
+        BenchmarkId {
+            function: Some(function.to_owned()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(function: String) -> Self {
+        BenchmarkId {
+            function: Some(function),
+            parameter: None,
+        }
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+    sample_ms: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                test_mode = true;
+            } else if !arg.starts_with('-') {
+                // First bare argument is a substring filter, as with
+                // `cargo bench <filter>`. Remaining flags (--bench,
+                // --save-baseline, ...) are accepted and ignored.
+                filter.get_or_insert(arg);
+            }
+        }
+        let sample_ms = std::env::var("CRITERION_SAMPLE_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(10)
+            .max(1);
+        Criterion {
+            test_mode,
+            filter,
+            sample_ms,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark (no group configuration).
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id: BenchmarkId = id.into();
+        let name = id.render();
+        self.benchmark_group(name.clone()).run(
+            BenchmarkId {
+                function: None,
+                parameter: None,
+            },
+            f,
+        );
+        self
+    }
+}
+
+/// A set of benchmarks sharing sample-size and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` under the given id.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into(), f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under the given id.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (drop would do; kept for API compatibility).
+    pub fn finish(self) {}
+
+    fn run<F>(&mut self, id: BenchmarkId, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let rendered = id.render();
+        let full_id = if rendered.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}/{}", self.name, rendered)
+        };
+        if let Some(filter) = &self.criterion.filter {
+            if !full_id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            test_mode: self.criterion.test_mode,
+            sample_size: self.sample_size,
+            sample_time: Duration::from_millis(self.criterion.sample_ms),
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        if bencher.test_mode {
+            println!("test {full_id} ... ok");
+            return;
+        }
+        bencher.report(&full_id, self.throughput);
+    }
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    sample_time: Duration,
+    /// Nanoseconds per iteration, one entry per sample.
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, calibrating iteration count so each sample
+    /// runs long enough to be measurable.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        let iters = self.calibrate(|n| {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            start.elapsed()
+        });
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples_ns
+                .push(elapsed.as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup cost is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        if self.test_mode {
+            black_box(routine(setup()));
+            return;
+        }
+        let iters = self.calibrate(|n| {
+            let mut total = Duration::ZERO;
+            for _ in 0..n {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                total += start.elapsed();
+            }
+            total
+        });
+        for _ in 0..self.sample_size {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                total += start.elapsed();
+            }
+            self.samples_ns.push(total.as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// Doubles the iteration count until one batch reaches roughly the
+    /// per-sample target; returns iterations per sample. The probe
+    /// batches double as warm-up.
+    fn calibrate(&self, mut probe: impl FnMut(u64) -> Duration) -> u64 {
+        let mut iters = 1u64;
+        loop {
+            let elapsed = probe(iters);
+            if elapsed >= self.sample_time || iters >= 1 << 22 {
+                if elapsed.is_zero() {
+                    return iters;
+                }
+                // Scale so one sample lands near the target time.
+                let per_iter = elapsed.as_secs_f64() / iters as f64;
+                let want = self.sample_time.as_secs_f64() / per_iter;
+                return (want.ceil() as u64).clamp(1, 1 << 22);
+            }
+            iters = iters.saturating_mul(2);
+        }
+    }
+
+    fn report(&self, id: &str, throughput: Option<Throughput>) {
+        if self.samples_ns.is_empty() {
+            return;
+        }
+        let min = self
+            .samples_ns
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        let max = self.samples_ns.iter().copied().fold(0.0f64, f64::max);
+        let mean = self.samples_ns.iter().sum::<f64>() / self.samples_ns.len() as f64;
+        let thrpt = throughput.map(|t| {
+            let (amount, unit) = match t {
+                Throughput::Elements(n) => (n as f64, "elem/s"),
+                Throughput::Bytes(n) => (n as f64, "B/s"),
+            };
+            (amount / (mean / 1e9), unit)
+        });
+        print!(
+            "{id:<48} time: [{} {} {}]",
+            fmt_ns(min),
+            fmt_ns(mean),
+            fmt_ns(max)
+        );
+        if let Some((rate, unit)) = thrpt {
+            print!("  thrpt: [{}]", fmt_rate(rate, unit));
+        }
+        println!();
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            if !path.is_empty() {
+                self.append_json(&path, id, min, mean, max, throughput);
+            }
+        }
+    }
+
+    fn append_json(
+        &self,
+        path: &str,
+        id: &str,
+        min: f64,
+        mean: f64,
+        max: f64,
+        throughput: Option<Throughput>,
+    ) {
+        let mut line = format!(
+            "{{\"id\":\"{}\",\"min_ns\":{:.1},\"mean_ns\":{:.1},\"max_ns\":{:.1},\"samples\":{}",
+            id.replace('"', "\\\""),
+            min,
+            mean,
+            max,
+            self.samples_ns.len()
+        );
+        match throughput {
+            Some(Throughput::Elements(n)) => {
+                line.push_str(&format!(",\"elements\":{n}"));
+            }
+            Some(Throughput::Bytes(n)) => {
+                line.push_str(&format!(",\"bytes\":{n}"));
+            }
+            None => {}
+        }
+        line.push('}');
+        let result = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .and_then(|mut f| writeln!(f, "{line}"));
+        if let Err(e) = result {
+            eprintln!("criterion: could not append to {path}: {e}");
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn fmt_rate(rate: f64, unit: &str) -> String {
+    if rate >= 1e9 {
+        format!("{:.2} G{unit}", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2} M{unit}", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2} K{unit}", rate / 1e3)
+    } else {
+        format!("{rate:.1} {unit}")
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` from one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_rendering() {
+        assert_eq!(BenchmarkId::new("sign", 5000).render(), "sign/5000");
+        assert_eq!(BenchmarkId::from_parameter(64).render(), "64");
+        assert_eq!(BenchmarkId::from("plain").render(), "plain");
+    }
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher {
+            test_mode: false,
+            sample_size: 5,
+            sample_time: Duration::from_micros(200),
+            samples_ns: Vec::new(),
+        };
+        let mut counter = 0u64;
+        b.iter(|| {
+            counter = counter.wrapping_add(black_box(1));
+            counter
+        });
+        assert_eq!(b.samples_ns.len(), 5);
+        assert!(b.samples_ns.iter().all(|&ns| ns >= 0.0));
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut b = Bencher {
+            test_mode: false,
+            sample_size: 3,
+            sample_time: Duration::from_micros(100),
+            samples_ns: Vec::new(),
+        };
+        b.iter_batched(
+            || vec![1u64; 16],
+            |v| v.iter().sum::<u64>(),
+            BatchSize::LargeInput,
+        );
+        assert_eq!(b.samples_ns.len(), 3);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut b = Bencher {
+            test_mode: true,
+            sample_size: 10,
+            sample_time: Duration::from_millis(10),
+            samples_ns: Vec::new(),
+        };
+        let mut runs = 0;
+        b.iter(|| runs += 1);
+        assert_eq!(runs, 1);
+        assert!(b.samples_ns.is_empty());
+    }
+
+    #[test]
+    fn format_helpers() {
+        assert_eq!(fmt_ns(12.3), "12.30 ns");
+        assert_eq!(fmt_ns(12_345.0), "12.35 µs");
+        assert_eq!(fmt_rate(1_234_567.0, "elem/s"), "1.23 Melem/s");
+    }
+}

@@ -1,0 +1,152 @@
+//! Collection strategies (`proptest::collection` subset).
+
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::{Range, RangeInclusive};
+
+use crate::test_runner::TestRng;
+use crate::Strategy;
+
+/// A collection length specification, inclusive of `min`, exclusive of
+/// `max` (mirrors `proptest::collection::SizeRange` conversions).
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    min: usize,
+    max: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        if self.max <= self.min + 1 {
+            self.min
+        } else {
+            self.min + rng.below((self.max - self.min) as u64) as usize
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange {
+            min: exact,
+            max: exact + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            min: r.start,
+            max: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty collection size range");
+        SizeRange {
+            min: *r.start(),
+            max: *r.end() + 1,
+        }
+    }
+}
+
+/// A `Vec` of values from `element` with a length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// The result of [`vec`].
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.sample(rng);
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.element.generate(rng));
+        }
+        out
+    }
+}
+
+/// A `HashSet` of values from `element`. Duplicates are redrawn with a
+/// bounded retry budget, so the final size can fall short of the drawn
+/// target when the element domain is small (matching real proptest's
+/// behaviour of treating the size as a goal, not a guarantee).
+pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+{
+    HashSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// The result of [`hash_set`].
+#[derive(Clone, Debug)]
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+{
+    type Value = HashSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+        let target = self.size.sample(rng);
+        let mut out = HashSet::with_capacity(target);
+        let mut attempts = 0usize;
+        let budget = target.saturating_mul(16).max(64);
+        while out.len() < target && attempts < budget {
+            out.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::any;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn vec_respects_size_forms() {
+        let mut rng = TestRng::seed(3);
+        for _ in 0..200 {
+            let ranged = vec(0u64..10, 2..5).generate(&mut rng);
+            assert!((2..5).contains(&ranged.len()));
+            let exact = vec(any::<bool>(), 7usize).generate(&mut rng);
+            assert_eq!(exact.len(), 7);
+        }
+    }
+
+    #[test]
+    fn hash_set_hits_target_on_wide_domains() {
+        let mut rng = TestRng::seed(4);
+        for _ in 0..50 {
+            let s = hash_set(any::<u64>(), 10..20).generate(&mut rng);
+            assert!((10..20).contains(&s.len()), "{}", s.len());
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Regex-subset string generation.
+//!
+//! Real proptest compiles string literals as full regexes. This
+//! stand-in supports the subset the workspace's strategies use: a
+//! sequence of atoms — literal characters (with `\` escapes) or
+//! character classes `[...]` containing literals and `a-z` ranges —
+//! each optionally followed by a `{n}` / `{m,n}` / `?` / `*` / `+`
+//! quantifier (the unbounded forms cap at 8 repeats).
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    /// Expanded alternatives of a character class.
+    Class(Vec<char>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize, // inclusive
+}
+
+/// Generates one string matching `pattern`. Panics on syntax this
+/// subset does not understand, so typos fail loudly at test time.
+pub fn generate_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let count = if piece.max > piece.min {
+            piece.min + rng.below((piece.max - piece.min + 1) as u64) as usize
+        } else {
+            piece.min
+        };
+        for _ in 0..count {
+            match &piece.atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(choices) => out.push(choices[rng.below(choices.len() as u64) as usize]),
+            }
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let (class, next) = parse_class(&chars, i + 1, pattern);
+                i = next;
+                Atom::Class(class)
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                i += 1;
+                Atom::Literal(unescape(c))
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max, next) = parse_quantifier(&chars, i, pattern);
+        i = next;
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+/// Parses the body of a class starting just past `[`; returns the
+/// expanded alternatives and the index just past `]`.
+fn parse_class(chars: &[char], mut i: usize, pattern: &str) -> (Vec<char>, usize) {
+    let mut out = Vec::new();
+    let mut prev: Option<char> = None;
+    loop {
+        let c = *chars
+            .get(i)
+            .unwrap_or_else(|| panic!("unterminated class in pattern {pattern:?}"));
+        i += 1;
+        match c {
+            ']' => break,
+            '\\' => {
+                let e = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                i += 1;
+                let lit = unescape(e);
+                out.push(lit);
+                prev = Some(lit);
+            }
+            '-' if prev.is_some() && chars.get(i).is_some_and(|&n| n != ']') => {
+                // Range like `a-z`: the previous literal was already
+                // pushed; extend with (prev, end].
+                let start = prev.take().expect("checked above");
+                let end = chars[i];
+                i += 1;
+                assert!(
+                    start <= end,
+                    "inverted class range {start:?}-{end:?} in pattern {pattern:?}",
+                );
+                let mut cur = start as u32 + 1;
+                while cur <= end as u32 {
+                    if let Some(ch) = char::from_u32(cur) {
+                        out.push(ch);
+                    }
+                    cur += 1;
+                }
+            }
+            c => {
+                out.push(c);
+                prev = Some(c);
+            }
+        }
+    }
+    assert!(!out.is_empty(), "empty class in pattern {pattern:?}");
+    (out, i)
+}
+
+/// Parses an optional quantifier at `i`; returns (min, max, next index).
+fn parse_quantifier(chars: &[char], i: usize, pattern: &str) -> (usize, usize, usize) {
+    match chars.get(i) {
+        Some('?') => (0, 1, i + 1),
+        Some('*') => (0, 8, i + 1),
+        Some('+') => (1, 8, i + 1),
+        Some('{') => {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unterminated quantifier in pattern {pattern:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            let (min, max) = match body.split_once(',') {
+                None => {
+                    let n = parse_count(&body, pattern);
+                    (n, n)
+                }
+                Some((lo, "")) => (parse_count(lo, pattern), parse_count(lo, pattern) + 8),
+                Some((lo, hi)) => (parse_count(lo, pattern), parse_count(hi, pattern)),
+            };
+            assert!(min <= max, "inverted quantifier in pattern {pattern:?}");
+            (min, max, close + 1)
+        }
+        _ => (1, 1, i),
+    }
+}
+
+fn parse_count(text: &str, pattern: &str) -> usize {
+    text.trim()
+        .parse()
+        .unwrap_or_else(|_| panic!("bad quantifier bound {text:?} in pattern {pattern:?}"))
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn simple_class_with_bounds() {
+        let mut rng = TestRng::seed(1);
+        for _ in 0..500 {
+            let s = generate_pattern("[a-z]{1,6}", &mut rng);
+            let n = s.chars().count();
+            assert!((1..=6).contains(&n), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn workspace_json_pattern() {
+        // The exact class hammer-rpc's arb_value uses, including escaped
+        // backslash/quote, control characters, and multibyte literals.
+        let pattern = "[a-zA-Z0-9 _\\\\\"\n\t\u{e9}\u{1F600}]{0,12}";
+        let allowed: Vec<char> = ('a'..='z')
+            .chain('A'..='Z')
+            .chain('0'..='9')
+            .chain([' ', '_', '\\', '"', '\n', '\t', '\u{e9}', '\u{1F600}'])
+            .collect();
+        let mut rng = TestRng::seed(2);
+        let mut multibyte_seen = false;
+        for _ in 0..2000 {
+            let s = generate_pattern(pattern, &mut rng);
+            assert!(s.chars().count() <= 12, "{s:?}");
+            for c in s.chars() {
+                assert!(allowed.contains(&c), "unexpected {c:?} in {s:?}");
+                if (c as u32) > 0x7f {
+                    multibyte_seen = true;
+                }
+            }
+        }
+        assert!(
+            multibyte_seen,
+            "class should occasionally emit multibyte chars"
+        );
+    }
+
+    #[test]
+    fn literals_and_quantifiers() {
+        let mut rng = TestRng::seed(3);
+        assert_eq!(generate_pattern("abc", &mut rng), "abc");
+        let s = generate_pattern("x{3}", &mut rng);
+        assert_eq!(s, "xxx");
+        for _ in 0..100 {
+            let s = generate_pattern("a?b+", &mut rng);
+            assert!(s.ends_with('b'));
+            let bs = s.trim_start_matches('a');
+            assert!((1..=8).contains(&bs.len()));
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Deterministic case runner and RNG for the proptest stand-in.
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case violated a `prop_assume!` precondition; the runner
+    /// draws a replacement instead of counting it.
+    Reject,
+    /// A `prop_assert*!` failed with the given message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds the failure variant.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Reject => write!(f, "input rejected by prop_assume!"),
+            TestCaseError::Fail(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+/// The generator handed to strategies: xoshiro256++ seeded per case.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// A generator with a fully determined state.
+    pub fn seed(seed: u64) -> Self {
+        let mut x = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            *slot = splitmix64(x);
+        }
+        TestRng { s }
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be nonzero. Multiply-shift
+    /// mapping — bias below 2^-64·bound, irrelevant for test inputs.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs `body` over many generated cases, panicking on the first
+/// failure. Seeds derive from the test name, so a failure reproduces
+/// on every run with the same `PROPTEST_CASES` (default 64).
+pub fn run(name: &str, mut body: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>) {
+    let cases: u64 = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64)
+        .max(1);
+    let base = fnv1a(name.as_bytes());
+    let max_rejects = cases.saturating_mul(16);
+    let mut passed = 0u64;
+    let mut rejected = 0u64;
+    let mut case_index = 0u64;
+    while passed < cases {
+        let mut rng = TestRng::seed(base ^ case_index.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        match body(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected <= max_rejects,
+                    "proptest '{name}': {rejected} inputs rejected by prop_assume! \
+                     before reaching {cases} passing cases — strategy too narrow",
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest '{name}' failed at case index {case_index}: {msg}")
+            }
+        }
+        case_index += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::seed(9);
+        let mut b = TestRng::seed(9);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn run_executes_requested_cases() {
+        let mut count = 0;
+        run("counting", |_rng| {
+            count += 1;
+            Ok(())
+        });
+        assert_eq!(count, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn run_panics_on_failure() {
+        run("failing", |_rng| Err(TestCaseError::fail("boom")));
+    }
+
+    #[test]
+    #[should_panic(expected = "strategy too narrow")]
+    fn run_panics_on_reject_storm() {
+        run("rejecting", |_rng| Err(TestCaseError::Reject));
+    }
+}

@@ -1,0 +1,49 @@
+//! Named generators, mirroring `rand::rngs`.
+
+use crate::{splitmix64, Rng, SeedableRng};
+
+/// xoshiro256++ — the workspace's standard generator.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // Expand the seed with splitmix64 as the xoshiro authors
+        // recommend; guarantees a nonzero state.
+        let mut x = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            *slot = splitmix64(x);
+        }
+        StdRng { s }
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// The thread-local generator handle returned by
+/// [`thread_rng`](crate::thread_rng).
+#[derive(Clone, Debug)]
+pub struct ThreadRng;
+
+impl Rng for ThreadRng {
+    fn next_u64(&mut self) -> u64 {
+        crate::with_thread_rng(|rng| rng.next_u64())
+    }
+}

@@ -1,0 +1,36 @@
+//! Sequence helpers, mirroring `rand::seq`.
+
+use crate::Rng;
+
+/// Random operations on slices (`rand::seq::SliceRandom` subset).
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Shuffles the slice in place (Fisher–Yates).
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// A uniformly random element, or `None` when empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            // Multiply-shift bounded draw; bias is negligible (< 2^-64·i).
+            let j = ((rng.next_u64() as u128 * (i as u128 + 1)) >> 64) as usize;
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            let i = ((rng.next_u64() as u128 * self.len() as u128) >> 64) as usize;
+            self.get(i)
+        }
+    }
+}
