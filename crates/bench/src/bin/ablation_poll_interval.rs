@@ -47,13 +47,13 @@ fn main() {
                 spec.seconds,
                 Duration::from_secs(1),
             );
-            let config = hammer_core::driver::EvalConfig {
-                mode,
-                machine: spec.machine,
-                poll_interval: interval,
-                drain_timeout: spec.drain_timeout,
-                ..hammer_core::driver::EvalConfig::default()
-            };
+            let config = hammer_core::driver::EvalConfig::builder()
+                .mode(mode)
+                .machine(spec.machine)
+                .poll_interval(interval)
+                .drain_timeout(spec.drain_timeout)
+                .build()
+                .expect("valid config");
             eprintln!("interval {interval:?}, mode {mode:?}...");
             let report = hammer_core::driver::Evaluation::new(config)
                 .run(&deployment, &workload, &control)

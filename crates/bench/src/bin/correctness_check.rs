@@ -50,11 +50,11 @@ fn main() {
         ..WorkloadConfig::default()
     };
     let control = ControlSequence::constant(rate, seconds, Duration::from_secs(1));
-    let config = EvalConfig {
-        machine: ClientMachine::unconstrained(),
-        drain_timeout: Duration::from_secs(120),
-        ..EvalConfig::default()
-    };
+    let config = EvalConfig::builder()
+        .machine(ClientMachine::unconstrained())
+        .drain_timeout(Duration::from_secs(120))
+        .build()
+        .expect("valid config");
     let report = Evaluation::new(config)
         .run(&deployment, &workload, &control)
         .expect("run failed");

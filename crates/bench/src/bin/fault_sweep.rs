@@ -1,0 +1,250 @@
+//! **Fault sweep** — SmallBank on all four chain simulators under three
+//! scripted fault scenarios, with the resilient submission path enabled.
+//!
+//! Scenarios (the fault window is `[3 s, 5 s)` of a 10 s run):
+//!
+//! * `none` — no fault plan installed. With no faults the retry machinery
+//!   is inert, so `retried`/`dropped`/`expired` must all be zero and the
+//!   committed count is identical to a run without a [`RetryPolicy`]
+//!   (the driver's one-shot path).
+//! * `blackhole` — the chain's ingress endpoint silently drops all
+//!   traffic for the window. Submissions see transient timeouts; the
+//!   retry policy rides most of them out, the rest expire.
+//! * `crash-restart` — the nodes that gate ingress *and* block
+//!   production are down for the window, then come back. Per-window
+//!   stats show the degraded interval instead of one blended number.
+//!
+//! ```text
+//! cargo run --release --bin fault_sweep
+//! ```
+//!
+//! Emits a JSON snapshot to `target/bench-results/fault_sweep.json`.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use hammer_core::deploy::{ChainSpec, Deployment};
+use hammer_core::driver::{EvalConfig, EvalReport, Evaluation};
+use hammer_core::machine::ClientMachine;
+use hammer_core::retry::RetryPolicy;
+use hammer_ethereum::EthereumConfig;
+use hammer_net::{FaultPlan, LinkConfig, SimClock, SimNetwork};
+use hammer_store::report::render_table;
+use hammer_workload::{ControlSequence, WorkloadConfig};
+
+/// Run length in simulated seconds.
+const RUN_SECONDS: usize = 10;
+/// Fault window, simulated time since run start.
+const WINDOW_START: Duration = Duration::from_secs(3);
+const WINDOW_END: Duration = Duration::from_secs(5);
+
+const SCENARIOS: [&str; 3] = ["none", "blackhole", "crash-restart"];
+
+/// The endpoint whose reachability gates `submit` for each chain.
+fn ingress_node(chain: &ChainSpec) -> &'static str {
+    match chain {
+        ChainSpec::Ethereum(_) => "eth-node-0",
+        ChainSpec::Fabric(_) => "fabric-peer-0",
+        ChainSpec::Neuchain(_) => "neuchain-client-proxy",
+        ChainSpec::Meepo(_) => "meepo-s0-node-0",
+    }
+}
+
+/// The endpoints that must be down to halt both ingress and block
+/// production. Meepo crashes only shard 0, so shard 1 keeps committing
+/// through the window (the per-shard degradation the paper's sharded
+/// experiments care about).
+fn crash_nodes(chain: &ChainSpec) -> &'static [&'static str] {
+    match chain {
+        ChainSpec::Ethereum(_) => &["eth-node-0"],
+        ChainSpec::Fabric(_) => &["fabric-peer-0", "fabric-orderer"],
+        ChainSpec::Neuchain(_) => &["neuchain-client-proxy", "neuchain-epoch-server"],
+        ChainSpec::Meepo(_) => &["meepo-s0-node-0"],
+    }
+}
+
+fn plan_for(chain: &ChainSpec, scenario: &str) -> Option<FaultPlan> {
+    match scenario {
+        "none" => None,
+        "blackhole" => {
+            Some(FaultPlan::new().blackhole(ingress_node(chain), WINDOW_START, WINDOW_END))
+        }
+        "crash-restart" => {
+            let mut plan = FaultPlan::new();
+            for node in crash_nodes(chain) {
+                plan = plan.crash(node, WINDOW_START, WINDOW_END);
+            }
+            Some(plan)
+        }
+        other => unreachable!("unknown scenario {other}"),
+    }
+}
+
+/// One evaluation: deploy on a fresh seeded network, install the plan
+/// (before the sim starts, so production threads see it from t = 0),
+/// run SmallBank with the standard retry policy.
+fn run_one(chain: &ChainSpec, scenario: &str, rate: u32, speedup: f64) -> EvalReport {
+    let clock = SimClock::with_speedup(speedup);
+    let net = SimNetwork::new(clock.clone(), LinkConfig::cloud_100mbps());
+    if let Some(plan) = plan_for(chain, scenario) {
+        net.install_faults(plan);
+    }
+    let deployment = Deployment::up_on(chain.clone(), clock, net);
+    let workload = WorkloadConfig {
+        accounts: 10_000,
+        chain_name: chain.name().to_owned(),
+        ..WorkloadConfig::default()
+    };
+    let control = ControlSequence::constant(rate, RUN_SECONDS, Duration::from_secs(1));
+    let config = EvalConfig::builder()
+        .machine(ClientMachine::unconstrained())
+        .retry(RetryPolicy::standard())
+        .drain_timeout(Duration::from_secs(60))
+        .build()
+        .expect("valid fault-sweep config");
+    Evaluation::new(config)
+        .run(&deployment, &workload, &control)
+        .expect("evaluation failed")
+}
+
+/// Appends one run as a JSON object (manual building — the workspace
+/// carries no serde dependency).
+fn push_json_run(out: &mut String, report: &EvalReport, scenario: &str) {
+    let _ = write!(
+        out,
+        "    {{\"chain\": \"{}\", \"scenario\": \"{}\", \"submitted\": {}, \
+         \"committed\": {}, \"retried\": {}, \"dropped\": {}, \"expired\": {}, \
+         \"rejected\": {}, \"timed_out\": {}, \"overall_tps\": {:.2}, \"windows\": [",
+        report.chain,
+        scenario,
+        report.submitted,
+        report.committed,
+        report.retried,
+        report.dropped,
+        report.expired,
+        report.rejected,
+        report.timed_out,
+        report.overall_tps,
+    );
+    for (i, w) in report.fault_windows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{}{{\"label\": \"{}\", \"start_s\": {:.1}, \"end_s\": {:.1}, \
+             \"committed\": {}, \"tps\": {:.2}}}",
+            if i == 0 { "" } else { ", " },
+            w.label,
+            w.start.as_secs_f64(),
+            w.end.as_secs_f64(),
+            w.committed,
+            w.tps,
+        );
+    }
+    out.push_str("]}");
+}
+
+fn main() {
+    println!("=== Fault sweep: SmallBank under scripted faults (all four sims) ===");
+    println!(
+        "fault window [{}s, {}s) of a {RUN_SECONDS}s run; RetryPolicy::standard()\n",
+        WINDOW_START.as_secs(),
+        WINDOW_END.as_secs()
+    );
+
+    // Private-net Ethereum with short blocks, as in the Fig. 6 testbed —
+    // the 15 s PoW default would give the 2 s window nothing to degrade.
+    let ethereum = ChainSpec::Ethereum(EthereumConfig {
+        block_interval: Duration::from_secs(1),
+        block_gas_limit: 2_000_000,
+        ..EthereumConfig::default()
+    });
+
+    // (spec, rate tx/s, speedup) — moderate rates well under capacity so
+    // the fault, not saturation, is what shapes the numbers.
+    let targets = vec![
+        (ethereum, 40u32, 100.0f64),
+        (ChainSpec::fabric_default(), 150, 100.0),
+        (ChainSpec::meepo_default(), 300, 50.0),
+        (ChainSpec::neuchain_default(), 500, 100.0),
+    ];
+
+    let mut rows = Vec::new();
+    let mut json = String::from("{\n");
+    let _ = write!(
+        json,
+        "  \"window\": {{\"start_s\": {:.1}, \"end_s\": {:.1}}},\n  \"runs\": [\n",
+        WINDOW_START.as_secs_f64(),
+        WINDOW_END.as_secs_f64()
+    );
+    let mut first_run = true;
+
+    for (chain, rate, speedup) in targets {
+        for scenario in SCENARIOS {
+            eprintln!(
+                "running {} / {scenario} at {rate} tx/s ({speedup}x)...",
+                chain.name()
+            );
+            let report = run_one(&chain, scenario, rate, speedup);
+            rows.push(vec![
+                report.chain.clone(),
+                scenario.to_owned(),
+                format!("{:.1}", report.overall_tps),
+                report.committed.to_string(),
+                report.retried.to_string(),
+                report.dropped.to_string(),
+                report.expired.to_string(),
+                report.rejected.to_string(),
+            ]);
+            for w in &report.fault_windows {
+                println!(
+                    "  {} / {scenario} [{:.1}s-{:.1}s] {}: {} committed ({:.1} TPS)",
+                    report.chain,
+                    w.start.as_secs_f64(),
+                    w.end.as_secs_f64(),
+                    w.label,
+                    w.committed,
+                    w.tps
+                );
+            }
+            if !first_run {
+                json.push_str(",\n");
+            }
+            first_run = false;
+            push_json_run(&mut json, &report, scenario);
+        }
+    }
+    json.push_str("\n  ]\n}\n");
+
+    println!(
+        "\n{}",
+        render_table(
+            &[
+                "chain",
+                "scenario",
+                "tps",
+                "committed",
+                "retried",
+                "dropped",
+                "expired",
+                "rejected",
+            ],
+            &rows,
+        )
+    );
+
+    let dir = std::path::Path::new("target/bench-results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create {dir:?}: {e}");
+    } else {
+        let path = dir.join("fault_sweep.json");
+        match std::fs::write(&path, &json) {
+            Ok(()) => println!("[saved {}]", path.display()),
+            Err(e) => eprintln!("warning: cannot write {path:?}: {e}"),
+        }
+    }
+
+    println!("\nReading the table: under `none` the retry path is inert");
+    println!("(retried = dropped = expired = 0, identical to the one-shot");
+    println!("driver); under `crash-restart` the crashed window's TPS");
+    println!("degrades while retried/expired go non-zero, and the nominal");
+    println!("row shows the chain recovering outside the window.");
+}

@@ -54,11 +54,11 @@ fn run(fabric: FabricConfig, clients: u32, threads: u32, workload: WorkloadConfi
     // 600/s budget: far above what the modelled machines can offer, so the
     // client machines (not the pacer) set the submission rate.
     let control = ControlSequence::constant(600, 40, Duration::from_secs(1));
-    let config = EvalConfig {
-        machine: paper_client(),
-        drain_timeout: Duration::from_secs(60),
-        ..EvalConfig::default()
-    };
+    let config = EvalConfig::builder()
+        .machine(paper_client())
+        .drain_timeout(Duration::from_secs(60))
+        .build()
+        .expect("valid config");
     let report = Evaluation::new(config)
         .run(&deployment, &workload, &control)
         .expect("run failed");

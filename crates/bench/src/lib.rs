@@ -72,16 +72,16 @@ impl RunSpec {
             ..WorkloadConfig::default()
         };
         let control = ControlSequence::constant(self.rate, self.seconds, Duration::from_secs(1));
-        let config = EvalConfig {
-            mode: self.mode,
-            machine: self.machine,
-            signer_threads: 8,
-            poll_interval: Duration::from_millis(100),
-            drain_timeout: self.drain_timeout,
-            listen_cost: self.listen_cost,
-            event_buffer: self.event_buffer,
-            ..EvalConfig::default()
-        };
+        let config = EvalConfig::builder()
+            .mode(self.mode)
+            .machine(self.machine)
+            .signer_threads(8)
+            .poll_interval(Duration::from_millis(100))
+            .drain_timeout(self.drain_timeout)
+            .listen_cost(self.listen_cost)
+            .event_buffer(self.event_buffer)
+            .build()
+            .expect("valid bench config");
         Evaluation::new(config)
             .run(&deployment, &workload, &control)
             .expect("evaluation failed")

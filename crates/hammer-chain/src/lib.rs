@@ -35,7 +35,9 @@ pub mod smallbank;
 pub mod state;
 pub mod types;
 
-pub use client::{Architecture, BlockchainClient, ChainError, CommitEvent};
+pub use client::{
+    check_node_ingress, Architecture, BlockchainClient, ChainError, CommitEvent, ErrorKind,
+};
 pub use ledger::Ledger;
 pub use mempool::Mempool;
 pub use smallbank::{ExecError, Op, OpOutput};

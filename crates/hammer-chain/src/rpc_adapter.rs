@@ -26,8 +26,13 @@ mod codes {
     pub const BAD_SIGNATURE: i64 = -1003;
     pub const UNKNOWN_SHARD: i64 = -1004;
     pub const SHUTDOWN: i64 = -1005;
+    pub const UNAVAILABLE: i64 = -1006;
+    pub const TRANSPORT: i64 = -1099;
 }
 
+// The wire mapping is the one place direct variant matching is allowed:
+// the adapter lives inside `hammer-chain`, so adding a variant updates
+// the enum and this table in the same change.
 fn chain_error_to_rpc(err: ChainError) -> RpcError {
     match err {
         ChainError::Rejected(MempoolError::Full) => {
@@ -43,18 +48,22 @@ fn chain_error_to_rpc(err: ChainError) -> RpcError {
             RpcError::application(codes::UNKNOWN_SHARD, format!("unknown shard {s}"))
         }
         ChainError::Shutdown => RpcError::application(codes::SHUTDOWN, "chain shut down"),
-        ChainError::Transport(msg) => RpcError::application(-1099, msg),
+        ChainError::Transport(msg) => RpcError::application(codes::TRANSPORT, msg),
+        ChainError::Unavailable { node } => {
+            RpcError::application(codes::UNAVAILABLE, format!("node {node} is unavailable"))
+        }
     }
 }
 
 fn rpc_error_to_chain(err: RpcError) -> ChainError {
     match err.code.code() {
-        codes::REJECTED_FULL => ChainError::Rejected(MempoolError::Full),
-        codes::REJECTED_DUP => ChainError::Rejected(MempoolError::Duplicate),
-        codes::BAD_SIGNATURE => ChainError::BadSignature,
-        codes::UNKNOWN_SHARD => ChainError::UnknownShard(0),
-        codes::SHUTDOWN => ChainError::Shutdown,
-        _ => ChainError::Transport(err.to_string()),
+        codes::REJECTED_FULL => ChainError::rejected(MempoolError::Full),
+        codes::REJECTED_DUP => ChainError::rejected(MempoolError::Duplicate),
+        codes::BAD_SIGNATURE => ChainError::bad_signature(),
+        codes::UNKNOWN_SHARD => ChainError::unknown_shard(0),
+        codes::SHUTDOWN => ChainError::shutdown(),
+        codes::UNAVAILABLE => ChainError::unavailable(err.to_string()),
+        _ => ChainError::transport(err.to_string()),
     }
 }
 

@@ -88,6 +88,27 @@ impl BatchQueue {
         matched
     }
 
+    /// Marks a still-pending transaction as abandoned by the submission
+    /// path (`Dropped` / `Expired`): removes it from the unconfirmed
+    /// queue with the given terminal status. Returns `true` when the
+    /// transaction was pending.
+    pub fn abandon(&mut self, tx_id: &TxId, end: Duration, status: TxStatus) -> bool {
+        debug_assert!(
+            matches!(status, TxStatus::Dropped | TxStatus::Expired),
+            "abandon is for submission-side terminal statuses"
+        );
+        for i in 0..self.queue.len() {
+            if self.queue[i].tx_id == *tx_id {
+                let mut record = self.queue.remove(i);
+                record.end = Some(end);
+                record.status = status;
+                self.done.push(record);
+                return true;
+            }
+        }
+        false
+    }
+
     /// Marks all still-pending transactions as timed out and returns how
     /// many there were.
     pub fn timeout_pending(&mut self) -> usize {

@@ -47,8 +47,10 @@ use crate::baseline::BatchQueue;
 use crate::deploy::Deployment;
 use crate::index::{TxRecord, TxTable};
 use crate::machine::ClientMachine;
+use crate::retry::RetryPolicy;
 use crate::signer;
 use crate::sync::{run_merger, StatusRecord, StatusSyncer};
+use hammer_store::table::RowOutcome;
 
 /// How commitment is observed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -75,6 +77,12 @@ pub enum SigningStrategy {
 }
 
 /// Driver configuration.
+///
+/// Construct with [`EvalConfig::builder`], which validates as it builds.
+/// The fields remain public for one deprecation cycle so existing
+/// struct-literal construction (`EvalConfig { .., ..Default::default() }`)
+/// keeps compiling, but new code should prefer the builder — a future
+/// release will make the fields private.
 #[derive(Clone, Debug)]
 pub struct EvalConfig {
     /// Commitment-observation mode.
@@ -103,6 +111,11 @@ pub struct EvalConfig {
     /// ([`crate::sync`]) instead of writing the Performance table
     /// directly at the end of the run.
     pub live_sync: bool,
+    /// Resilient-submission policy: how workers retry transient failures
+    /// (crashed/blackholed nodes, mempool backpressure). The default is
+    /// [`RetryPolicy::disabled`], which reproduces the pre-fault driver
+    /// exactly: one attempt per transaction.
+    pub retry: RetryPolicy,
 }
 
 impl Default for EvalConfig {
@@ -118,7 +131,118 @@ impl Default for EvalConfig {
             listen_cost: Duration::from_micros(400),
             event_buffer: 1_000,
             live_sync: false,
+            retry: RetryPolicy::disabled(),
         }
+    }
+}
+
+impl EvalConfig {
+    /// A validating builder seeded with the defaults.
+    pub fn builder() -> EvalConfigBuilder {
+        EvalConfigBuilder {
+            config: EvalConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`EvalConfig`]. Every setter takes and returns `self`;
+/// [`EvalConfigBuilder::build`] validates the combination (non-zero signer
+/// threads and poll interval, a sane client machine, a coherent retry
+/// policy) so an invalid configuration fails at construction instead of
+/// deep inside [`Evaluation::run`]. Cross-argument checks that need the
+/// control sequence (non-empty budget, retry deadline within the slice
+/// length) still happen in `run`.
+#[derive(Clone, Debug)]
+pub struct EvalConfigBuilder {
+    config: EvalConfig,
+}
+
+impl EvalConfigBuilder {
+    /// Commitment-observation mode.
+    pub fn mode(mut self, mode: TestingMode) -> Self {
+        self.config.mode = mode;
+        self
+    }
+
+    /// Signing strategy.
+    pub fn signing(mut self, signing: SigningStrategy) -> Self {
+        self.config.signing = signing;
+        self
+    }
+
+    /// Signer thread-pool size (must be non-zero).
+    pub fn signer_threads(mut self, threads: usize) -> Self {
+        self.config.signer_threads = threads;
+        self
+    }
+
+    /// The modelled client machine.
+    pub fn machine(mut self, machine: ClientMachine) -> Self {
+        self.config.machine = machine;
+        self
+    }
+
+    /// Signature scheme parameters (shared with the SUT).
+    pub fn sig_params(mut self, params: SigParams) -> Self {
+        self.config.sig_params = params;
+        self
+    }
+
+    /// Block-polling interval in simulated time (must be non-zero).
+    pub fn poll_interval(mut self, interval: Duration) -> Self {
+        self.config.poll_interval = interval;
+        self
+    }
+
+    /// Post-submission monitoring window before stragglers time out.
+    pub fn drain_timeout(mut self, timeout: Duration) -> Self {
+        self.config.drain_timeout = timeout;
+        self
+    }
+
+    /// Interactive mode: listener CPU cost per commit event.
+    pub fn listen_cost(mut self, cost: Duration) -> Self {
+        self.config.listen_cost = cost;
+        self
+    }
+
+    /// Interactive mode: SDK event-buffer depth.
+    pub fn event_buffer(mut self, depth: usize) -> Self {
+        self.config.event_buffer = depth;
+        self
+    }
+
+    /// Route statuses through the Fig. 2 KV→table pipeline.
+    pub fn live_sync(mut self, enabled: bool) -> Self {
+        self.config.live_sync = enabled;
+        self
+    }
+
+    /// Resilient-submission retry policy.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.config.retry = policy;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    pub fn build(self) -> Result<EvalConfig, EvalError> {
+        let config = self.config;
+        if config.signer_threads == 0 {
+            return Err(EvalError::InvalidConfig(
+                "signer_threads must be non-zero".to_owned(),
+            ));
+        }
+        if config.poll_interval.is_zero() {
+            return Err(EvalError::InvalidConfig(
+                "poll_interval must be positive".to_owned(),
+            ));
+        }
+        config
+            .machine
+            .validate()
+            .map_err(EvalError::InvalidConfig)?;
+        config.retry.validate().map_err(EvalError::InvalidConfig)?;
+        Ok(config)
     }
 }
 
@@ -142,15 +266,44 @@ impl std::fmt::Display for EvalError {
 
 impl std::error::Error for EvalError {}
 
+/// Per-fault-window committed-throughput breakdown (plus one `nominal`
+/// entry covering the run time outside every window). Lets a fault sweep
+/// show *when* throughput degraded, not just that it did.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultWindowStats {
+    /// The fault window's label (`"nominal"` for the outside-all-windows
+    /// entry).
+    pub label: String,
+    /// Window start (simulated time).
+    pub start: Duration,
+    /// Window end (simulated time, exclusive).
+    pub end: Duration,
+    /// Transactions whose commit time fell inside the window.
+    pub committed: usize,
+    /// Committed throughput over the window.
+    pub tps: f64,
+}
+
 /// The result of one evaluation run.
 #[derive(Clone, Debug)]
 pub struct EvalReport {
     /// The evaluated chain's name.
     pub chain: String,
-    /// Transactions handed to the SUT.
+    /// Transactions attempted against the SUT (every transaction pulled
+    /// from the signed stream, whatever its eventual fate — so
+    /// `committed + failed + timed_out + dropped + expired + rejected`
+    /// accounts for all of them).
     pub submitted: u64,
-    /// Submissions the SUT rejected (overload/duplicate).
+    /// Submissions the SUT terminally rejected (non-retryable errors, or
+    /// any error when retrying is disabled).
     pub rejected: u64,
+    /// Extra submission attempts made by the retry policy (0 unless
+    /// [`EvalConfig::retry`] is enabled and transient faults occurred).
+    pub retried: u64,
+    /// Abandoned after exhausting the retry budget, never accepted.
+    pub dropped: usize,
+    /// Abandoned after the per-slice retry deadline passed.
+    pub expired: usize,
     /// Committed successfully.
     pub committed: usize,
     /// Included on-chain but invalid (execution/MVCC failure).
@@ -178,6 +331,9 @@ pub struct EvalReport {
     /// Task-processing index statistics (Bloom rejections, probe steps);
     /// `None` for the batch baseline.
     pub index_stats: Option<crate::index::IndexStats>,
+    /// Per-fault-window TPS breakdown; empty when the deployment's
+    /// network has no fault plan installed.
+    pub fault_windows: Vec<FaultWindowStats>,
     /// The raw per-transaction records (for audits, §V-C).
     pub records: Vec<TxRecord>,
 }
@@ -188,6 +344,10 @@ pub struct EvalReport {
 trait Tracker: Send {
     fn insert(&mut self, id: TxId, client: u32, server: u32, start: Duration);
     fn complete(&mut self, id: &TxId, end: Duration, ok: bool) -> Option<TxRecord>;
+    /// Submission-side abandonment: the retry loop gave up on a
+    /// transaction ([`TxStatus::Dropped`] / [`TxStatus::Expired`]) that
+    /// therefore never reached the chain.
+    fn abandon(&mut self, id: &TxId, end: Duration, status: TxStatus) -> bool;
     fn pending(&self) -> usize;
     fn index_stats(&self) -> Option<crate::index::IndexStats> {
         None
@@ -205,6 +365,9 @@ impl Tracker for TxTable {
         } else {
             None
         }
+    }
+    fn abandon(&mut self, id: &TxId, end: Duration, status: TxStatus) -> bool {
+        TxTable::abandon(self, id, end, status)
     }
     fn pending(&self) -> usize {
         TxTable::pending(self)
@@ -227,6 +390,9 @@ impl Tracker for BatchQueue {
         } else {
             None
         }
+    }
+    fn abandon(&mut self, id: &TxId, end: Duration, status: TxStatus) -> bool {
+        BatchQueue::abandon(self, id, end, status)
     }
     fn pending(&self) -> usize {
         BatchQueue::pending(self)
@@ -278,6 +444,26 @@ impl Evaluation {
             return Err(EvalError::InvalidConfig(
                 "poll_interval must be positive".to_owned(),
             ));
+        }
+        self.config
+            .retry
+            .validate()
+            .map_err(EvalError::InvalidConfig)?;
+        if self.config.retry.enabled() {
+            // A transaction's retry budget may not outlive the slice that
+            // paid for it: a deadline beyond the slice length would let
+            // stragglers steal the next slice's budget.
+            let deadline = self
+                .config
+                .retry
+                .deadline
+                .unwrap_or_else(|| control.slice_duration());
+            if deadline > control.slice_duration() {
+                return Err(EvalError::InvalidConfig(format!(
+                    "retry deadline ({deadline:?}) exceeds the control slice length ({:?})",
+                    control.slice_duration()
+                )));
+            }
         }
 
         let chain = deployment.client();
@@ -347,6 +533,7 @@ impl Evaluation {
         }));
         let submitted = AtomicU64::new(0);
         let rejected = AtomicU64::new(0);
+        let retried = AtomicU64::new(0);
         let rejected_ids: Mutex<HashSet<TxId>> = Mutex::new(HashSet::new());
         let done_submitting = AtomicBool::new(false);
         let drain_deadline: Mutex<Option<Duration>> = Mutex::new(None);
@@ -409,6 +596,8 @@ impl Evaluation {
             });
 
             // Submission workers.
+            let retry = self.config.retry;
+            let retry_deadline = retry.deadline.unwrap_or_else(|| control.slice_duration());
             let mut worker_handles = Vec::new();
             for _ in 0..workers {
                 let token_rx = token_rx.clone();
@@ -418,6 +607,7 @@ impl Evaluation {
                 let tracker = Arc::clone(&tracker);
                 let submitted = &submitted;
                 let rejected = &rejected;
+                let retried = &retried;
                 let rejected_ids = &rejected_ids;
                 let machine = self.config.machine;
                 worker_handles.push(scope.spawn(move || {
@@ -445,14 +635,54 @@ impl Evaluation {
                         // Register before submitting so a fast commit can
                         // never race past the tracker.
                         tracker.lock().insert(id, client_id, server_id, start);
-                        match chain.submit(tx) {
-                            Ok(_) => {
-                                submitted.fetch_add(1, Ordering::Relaxed);
-                            }
-                            Err(_) => {
+                        submitted.fetch_add(1, Ordering::Relaxed);
+                        if !retry.enabled() {
+                            // One-shot path, identical to the pre-fault
+                            // driver (no clone, no policy consultation).
+                            if chain.submit(tx).is_err() {
                                 rejected.fetch_add(1, Ordering::Relaxed);
                                 rejected_ids.lock().insert(id);
                                 let _ = tracker.lock().complete(&id, start, false);
+                            }
+                            continue;
+                        }
+                        // Resilient path: retry transient failures under
+                        // the attempt budget and the per-slice deadline.
+                        // All decisions go through the error taxonomy
+                        // (ErrorKind via is_retryable), never variants.
+                        let give_up_at = start + retry_deadline;
+                        let mut attempt = 0u32;
+                        loop {
+                            match chain.submit(tx.clone()) {
+                                Ok(_) => break,
+                                Err(e) if e.is_retryable() => {
+                                    if attempt >= retry.max_retries {
+                                        let _ = tracker.lock().abandon(
+                                            &id,
+                                            clock.now(),
+                                            TxStatus::Dropped,
+                                        );
+                                        break;
+                                    }
+                                    let pause = retry.backoff(attempt, id.fingerprint());
+                                    if clock.now() + pause >= give_up_at {
+                                        let _ = tracker.lock().abandon(
+                                            &id,
+                                            clock.now(),
+                                            TxStatus::Expired,
+                                        );
+                                        break;
+                                    }
+                                    clock.sleep(pause);
+                                    attempt += 1;
+                                    retried.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Err(_) => {
+                                    rejected.fetch_add(1, Ordering::Relaxed);
+                                    rejected_ids.lock().insert(id);
+                                    let _ = tracker.lock().complete(&id, start, false);
+                                    break;
+                                }
                             }
                         }
                     }
@@ -538,7 +768,12 @@ impl Evaluation {
                 for r in records
                     .iter()
                     .filter(|r| !rejected_ids.contains(&r.tx_id))
-                    .filter(|r| r.status == TxStatus::TimedOut)
+                    .filter(|r| {
+                        matches!(
+                            r.status,
+                            TxStatus::TimedOut | TxStatus::Dropped | TxStatus::Expired
+                        )
+                    })
                 {
                     syncer.publish(&record_to_status(r));
                 }
@@ -568,7 +803,7 @@ impl Evaluation {
                         chain: chain_name.clone(),
                         start_time: r.start,
                         end_time: r.end,
-                        status_ok: r.status == TxStatus::Committed,
+                        outcome: status_to_outcome(r.status),
                     })
                     .collect(),
             );
@@ -587,6 +822,14 @@ impl Evaluation {
             .iter()
             .filter(|r| r.status == TxStatus::TimedOut)
             .count();
+        let dropped = records
+            .iter()
+            .filter(|r| r.status == TxStatus::Dropped)
+            .count();
+        let expired = records
+            .iter()
+            .filter(|r| r.status == TxStatus::Expired)
+            .count();
 
         let per_shard_committed: Vec<(u32, usize)> = shard_commits
             .lock()
@@ -599,11 +842,20 @@ impl Evaluation {
             .filter_map(|r| r.end)
             .max()
             .unwrap_or(first_start);
+        let fault_windows = fault_window_stats(
+            deployment.net().fault_plan().as_deref(),
+            &records,
+            first_start,
+            last_end,
+        );
 
         Ok(EvalReport {
             chain: chain_name,
             submitted: submitted.load(Ordering::Relaxed),
             rejected: rejected.load(Ordering::Relaxed),
+            retried: retried.load(Ordering::Relaxed),
+            dropped,
+            expired,
             committed,
             failed,
             timed_out,
@@ -616,9 +868,93 @@ impl Evaluation {
             wall_time: wall_start.elapsed(),
             synced_rows,
             index_stats,
+            fault_windows,
             records,
         })
     }
+}
+
+/// Maps a tracker status to a Performance-table outcome. `Pending` is
+/// defensively mapped to `TimedOut`: the report path converts all pending
+/// records before rows are built.
+fn status_to_outcome(status: TxStatus) -> RowOutcome {
+    match status {
+        TxStatus::Committed => RowOutcome::Committed,
+        TxStatus::Failed => RowOutcome::Failed,
+        TxStatus::Dropped => RowOutcome::Dropped,
+        TxStatus::Expired => RowOutcome::Expired,
+        TxStatus::TimedOut | TxStatus::Pending => RowOutcome::TimedOut,
+    }
+}
+
+/// Computes the per-fault-window TPS breakdown: one entry per window of
+/// the installed plan, plus a `nominal` entry over the run time outside
+/// every window. Empty when no plan is installed (so fault-free reports
+/// are unchanged). Overlapping windows each count commits independently;
+/// the nominal entry subtracts each window's overlap with the run span,
+/// so heavily-overlapping plans can undercount its duration.
+fn fault_window_stats(
+    plan: Option<&hammer_net::FaultPlan>,
+    records: &[TxRecord],
+    first_start: Duration,
+    last_end: Duration,
+) -> Vec<FaultWindowStats> {
+    let Some(plan) = plan else {
+        return Vec::new();
+    };
+    if plan.is_empty() {
+        return Vec::new();
+    }
+    let commits: Vec<Duration> = records
+        .iter()
+        .filter(|r| r.status == TxStatus::Committed)
+        .filter_map(|r| r.end)
+        .collect();
+    let mut stats: Vec<FaultWindowStats> = plan
+        .windows()
+        .iter()
+        .map(|w| {
+            let committed = commits
+                .iter()
+                .filter(|&&end| end >= w.start && end < w.end)
+                .count();
+            let secs = w.duration().as_secs_f64();
+            FaultWindowStats {
+                label: w.label.clone(),
+                start: w.start,
+                end: w.end,
+                committed,
+                tps: if secs > 0.0 {
+                    committed as f64 / secs
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect();
+    let outside = commits
+        .iter()
+        .filter(|&&end| !plan.windows().iter().any(|w| end >= w.start && end < w.end))
+        .count();
+    let span = last_end.saturating_sub(first_start);
+    let covered: Duration = plan
+        .windows()
+        .iter()
+        .map(|w| w.end.min(last_end).saturating_sub(w.start.max(first_start)))
+        .sum();
+    let nominal = span.saturating_sub(covered).as_secs_f64();
+    stats.push(FaultWindowStats {
+        label: "nominal".to_owned(),
+        start: first_start,
+        end: last_end,
+        committed: outside,
+        tps: if nominal > 0.0 {
+            outside as f64 / nominal
+        } else {
+            0.0
+        },
+    });
+    stats
 }
 
 /// Converts a finished tracker record into a publishable status record.
@@ -629,7 +965,7 @@ fn record_to_status(record: &TxRecord) -> StatusRecord {
         server_id: record.server_id,
         start_ns: record.start.as_nanos() as u64,
         end_ns: record.end.map(|e| e.as_nanos() as u64).unwrap_or(u64::MAX),
-        ok: record.status == TxStatus::Committed,
+        outcome: status_to_outcome(record.status),
     }
 }
 
@@ -858,6 +1194,87 @@ mod tests {
         );
         let total: usize = report.per_shard_committed.iter().map(|(_, n)| n).sum();
         assert_eq!(total, report.committed);
+    }
+
+    #[test]
+    fn builder_validates_and_builds() {
+        let config = EvalConfig::builder()
+            .mode(TestingMode::BatchBaseline)
+            .signing(SigningStrategy::Async)
+            .signer_threads(2)
+            .poll_interval(Duration::from_millis(50))
+            .retry(RetryPolicy::standard())
+            .build()
+            .unwrap();
+        assert_eq!(config.mode, TestingMode::BatchBaseline);
+        assert_eq!(config.signing, SigningStrategy::Async);
+        assert_eq!(config.signer_threads, 2);
+        assert_eq!(config.retry, RetryPolicy::standard());
+
+        for bad in [
+            EvalConfig::builder().signer_threads(0).build(),
+            EvalConfig::builder().poll_interval(Duration::ZERO).build(),
+            EvalConfig::builder()
+                .retry(RetryPolicy {
+                    multiplier: 0.5,
+                    ..RetryPolicy::standard()
+                })
+                .build(),
+        ] {
+            assert!(matches!(bad, Err(EvalError::InvalidConfig(_))), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn enabled_retry_is_inert_without_faults() {
+        // With no fault plan installed the retry policy must never fire:
+        // the report carries zero retried/dropped/expired and no
+        // fault-window breakdown.
+        let deployment = Deployment::up(ChainSpec::neuchain_default(), 1000.0);
+        let control = ControlSequence::constant(50, 2, Duration::from_secs(1));
+        let report = Evaluation::new(EvalConfig {
+            retry: RetryPolicy::standard(),
+            ..fast_config()
+        })
+        .run(&deployment, &small_workload(100), &control)
+        .unwrap();
+        assert_eq!(report.retried, 0);
+        assert_eq!(report.dropped, 0);
+        assert_eq!(report.expired, 0);
+        assert!(report.fault_windows.is_empty());
+        assert!(report.committed > 80, "committed = {}", report.committed);
+    }
+
+    #[test]
+    fn retry_deadline_longer_than_slice_rejected() {
+        let deployment = Deployment::up(ChainSpec::neuchain_default(), 1000.0);
+        let control = ControlSequence::constant(50, 2, Duration::from_secs(1));
+        let err = Evaluation::new(EvalConfig {
+            retry: RetryPolicy {
+                deadline: Some(Duration::from_secs(5)),
+                ..RetryPolicy::standard()
+            },
+            ..fast_config()
+        })
+        .run(&deployment, &small_workload(100), &control)
+        .unwrap_err();
+        assert!(matches!(err, EvalError::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn invalid_retry_policy_rejected() {
+        let deployment = Deployment::up(ChainSpec::neuchain_default(), 1000.0);
+        let control = ControlSequence::constant(50, 2, Duration::from_secs(1));
+        let err = Evaluation::new(EvalConfig {
+            retry: RetryPolicy {
+                multiplier: 0.0,
+                ..RetryPolicy::standard()
+            },
+            ..fast_config()
+        })
+        .run(&deployment, &small_workload(100), &control)
+        .unwrap_err();
+        assert!(matches!(err, EvalError::InvalidConfig(_)), "{err}");
     }
 
     #[test]

@@ -217,6 +217,30 @@ impl TxTable {
         }
     }
 
+    /// Marks a still-pending transaction as abandoned by the submission
+    /// path — `Dropped` (retry budget exhausted) or `Expired` (per-slice
+    /// retry deadline passed) — without it ever reaching the chain.
+    /// Returns `true` when the transaction was pending in this table.
+    pub fn abandon(&mut self, tx_id: &TxId, end: Duration, status: TxStatus) -> bool {
+        debug_assert!(
+            matches!(status, TxStatus::Dropped | TxStatus::Expired),
+            "abandon is for submission-side terminal statuses"
+        );
+        match self.find(tx_id) {
+            Some(idx) => {
+                let record = &mut self.records[idx];
+                if record.status != TxStatus::Pending {
+                    return false;
+                }
+                record.end = Some(end);
+                record.status = status;
+                self.live -= 1;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Marks every still-pending transaction as timed out.
     pub fn timeout_pending(&mut self) -> usize {
         let mut n = 0;

@@ -41,7 +41,8 @@
 //! };
 //! let control = ControlSequence::constant(100, 2, Duration::from_secs(1));
 //! // 3. Run.
-//! let report = Evaluation::new(EvalConfig::default())
+//! let config = EvalConfig::builder().build().unwrap();
+//! let report = Evaluation::new(config)
 //!     .run(&deployment, &workload, &control)
 //!     .unwrap();
 //! assert!(report.committed > 0);
@@ -57,13 +58,17 @@ pub mod driver;
 pub mod index;
 pub mod machine;
 pub mod multi;
+pub mod retry;
 pub mod signer;
 pub mod sync;
 
 pub use baseline::BatchQueue;
 pub use bloom::BloomFilter;
 pub use deploy::{ChainSpec, Deployment};
-pub use driver::{EvalConfig, EvalReport, Evaluation, TestingMode};
+pub use driver::{
+    EvalConfig, EvalConfigBuilder, EvalReport, Evaluation, FaultWindowStats, TestingMode,
+};
 pub use index::{TxRecord, TxTable};
 pub use machine::ClientMachine;
 pub use multi::{run_distributed, MultiDriverReport};
+pub use retry::RetryPolicy;

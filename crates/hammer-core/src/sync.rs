@@ -20,7 +20,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use hammer_store::table::PerfRow;
+use hammer_store::table::{PerfRow, RowOutcome};
 use hammer_store::{KvStore, TableStore};
 
 /// One completed (or finally-failed) transaction status record.
@@ -36,8 +36,8 @@ pub struct StatusRecord {
     pub start_ns: u64,
     /// Completion time (simulated, nanoseconds); `u64::MAX` = never.
     pub end_ns: u64,
-    /// Committed successfully.
-    pub ok: bool,
+    /// Terminal outcome.
+    pub outcome: RowOutcome,
 }
 
 impl StatusRecord {
@@ -52,7 +52,7 @@ impl StatusRecord {
         out.extend_from_slice(&self.server_id.to_be_bytes());
         out.extend_from_slice(&self.start_ns.to_be_bytes());
         out.extend_from_slice(&self.end_ns.to_be_bytes());
-        out.push(self.ok as u8);
+        out.push(self.outcome.code());
         out
     }
 
@@ -61,18 +61,14 @@ impl StatusRecord {
         if bytes.len() != Self::ENCODED_LEN {
             return None;
         }
-        let ok = match bytes[32] {
-            0 => false,
-            1 => true,
-            _ => return None,
-        };
+        let outcome = RowOutcome::from_code(bytes[32])?;
         Some(StatusRecord {
             tx_fingerprint: u64::from_be_bytes(bytes[0..8].try_into().ok()?),
             client_id: u32::from_be_bytes(bytes[8..12].try_into().ok()?),
             server_id: u32::from_be_bytes(bytes[12..16].try_into().ok()?),
             start_ns: u64::from_be_bytes(bytes[16..24].try_into().ok()?),
             end_ns: u64::from_be_bytes(bytes[24..32].try_into().ok()?),
-            ok,
+            outcome,
         })
     }
 
@@ -85,7 +81,7 @@ impl StatusRecord {
             chain: chain.to_owned(),
             start_time: Duration::from_nanos(self.start_ns),
             end_time: (self.end_ns != u64::MAX).then(|| Duration::from_nanos(self.end_ns)),
-            status_ok: self.ok,
+            outcome: self.outcome,
         }
     }
 }
@@ -161,7 +157,11 @@ mod tests {
             server_id: (n % 3) as u32,
             start_ns: n * 1000,
             end_ns: n * 1000 + 500,
-            ok: !n.is_multiple_of(7),
+            outcome: if n.is_multiple_of(7) {
+                RowOutcome::Failed
+            } else {
+                RowOutcome::Committed
+            },
         }
     }
 
@@ -178,7 +178,7 @@ mod tests {
         assert_eq!(StatusRecord::decode(&[]), None);
         assert_eq!(StatusRecord::decode(&[0u8; 10]), None);
         let mut bytes = record(1).encode();
-        bytes[32] = 9; // bad flag
+        bytes[32] = 9; // bad outcome code
         assert_eq!(StatusRecord::decode(&bytes), None);
     }
 
@@ -251,14 +251,14 @@ mod tests {
     proptest! {
         #[test]
         fn prop_roundtrip(fp in any::<u64>(), c in any::<u32>(), s in any::<u32>(),
-                          start in any::<u64>(), end in any::<u64>(), ok in any::<bool>()) {
+                          start in any::<u64>(), end in any::<u64>(), code in 0u8..=4) {
             let r = StatusRecord {
                 tx_fingerprint: fp,
                 client_id: c,
                 server_id: s,
                 start_ns: start,
                 end_ns: end,
-                ok,
+                outcome: RowOutcome::from_code(code).unwrap(),
             };
             prop_assert_eq!(StatusRecord::decode(&r.encode()), Some(r));
         }

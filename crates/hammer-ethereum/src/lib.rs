@@ -38,7 +38,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crossbeam::channel::Receiver;
-use hammer_chain::client::{Architecture, BlockchainClient, ChainError, CommitEvent};
+use hammer_chain::client::{
+    check_node_ingress, Architecture, BlockchainClient, ChainError, CommitEvent,
+};
 use hammer_chain::events::CommitBus;
 use hammer_chain::ledger::Ledger;
 use hammer_chain::mempool::Mempool;
@@ -244,6 +246,11 @@ fn miner_loop(inner: Arc<Inner>) {
         if inner.shutdown.load(Ordering::Relaxed) {
             return;
         }
+        // A crashed bootstrap node mines nothing this round; pooled
+        // transactions wait out the fault window.
+        if inner.net.node_crashed(&EthereumSim::node_name(0)) {
+            continue;
+        }
 
         // Real hash work: the PoW burn.
         let mut pow_input = [0u8; 32];
@@ -358,23 +365,24 @@ impl BlockchainClient for EthereumSim {
 
     fn submit(&self, tx: SignedTransaction) -> Result<TxId, ChainError> {
         if self.inner.shutdown.load(Ordering::Relaxed) {
-            return Err(ChainError::Shutdown);
+            return Err(ChainError::shutdown());
         }
+        check_node_ingress(&self.inner.net, &EthereumSim::node_name(0))?;
         let id = tx.id;
-        self.inner.mempool.push(tx).map_err(ChainError::Rejected)?;
+        self.inner.mempool.push(tx).map_err(ChainError::rejected)?;
         Ok(id)
     }
 
     fn latest_height(&self, shard: u32) -> Result<u64, ChainError> {
         if shard != 0 {
-            return Err(ChainError::UnknownShard(shard));
+            return Err(ChainError::unknown_shard(shard));
         }
         Ok(self.inner.ledger.read().height())
     }
 
     fn block_at(&self, shard: u32, height: u64) -> Result<Option<Block>, ChainError> {
         if shard != 0 {
-            return Err(ChainError::UnknownShard(shard));
+            return Err(ChainError::unknown_shard(shard));
         }
         Ok(self.inner.ledger.read().block_at(height).cloned())
     }
@@ -553,14 +561,8 @@ mod tests {
     #[test]
     fn rejects_wrong_shard() {
         let (chain, _clock) = fast_chain(EthereumConfig::default());
-        assert!(matches!(
-            chain.latest_height(1),
-            Err(ChainError::UnknownShard(1))
-        ));
-        assert!(matches!(
-            chain.block_at(2, 1),
-            Err(ChainError::UnknownShard(2))
-        ));
+        assert_eq!(chain.latest_height(1).unwrap_err().shard(), Some(1));
+        assert_eq!(chain.block_at(2, 1).unwrap_err().shard(), Some(2));
         chain.shutdown();
     }
 
@@ -569,7 +571,8 @@ mod tests {
         let (chain, _clock) = fast_chain(EthereumConfig::default());
         chain.shutdown();
         let err = chain.submit(signed(1, Op::KvGet { key: 1 })).unwrap_err();
-        assert_eq!(err, ChainError::Shutdown);
+        assert!(err.is_shutdown());
+        assert!(!err.is_retryable());
     }
 
     #[test]
@@ -580,7 +583,24 @@ mod tests {
         });
         let tx = signed(1, Op::KvGet { key: 1 });
         chain.submit(tx.clone()).unwrap();
-        assert!(matches!(chain.submit(tx), Err(ChainError::Rejected(_))));
+        let err = chain.submit(tx).unwrap_err();
+        assert!(err.rejection().is_some());
+        assert!(!err.is_retryable(), "duplicates must not be retried");
+    }
+
+    #[test]
+    fn blackholed_node_times_out_ingress() {
+        use hammer_chain::client::ErrorKind;
+        use hammer_net::FaultPlan;
+        let (chain, _clock) = fast_chain(EthereumConfig::default());
+        chain.inner.net.install_faults(FaultPlan::new().blackhole(
+            "eth-node-0",
+            Duration::ZERO,
+            Duration::from_secs(3600),
+        ));
+        let err = chain.submit(signed(1, Op::KvGet { key: 1 })).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Transient);
+        assert!(err.is_retryable());
         chain.shutdown();
     }
 

@@ -27,7 +27,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
-use hammer_chain::client::{Architecture, BlockchainClient, ChainError, CommitEvent};
+use hammer_chain::client::{
+    check_node_ingress, Architecture, BlockchainClient, ChainError, CommitEvent,
+};
 use hammer_chain::events::CommitBus;
 use hammer_chain::ledger::Ledger;
 use hammer_chain::mempool::MempoolError;
@@ -362,6 +364,11 @@ fn orderer_loop(inner: Arc<Inner>, rx: Receiver<Endorsed>, out: Sender<Vec<Endor
         let timed_out = batch_deadline
             .map(|d| std::time::Instant::now() >= d)
             .unwrap_or(false);
+        // A crashed orderer cuts no blocks; endorsed transactions pile up
+        // in the batch until the restart.
+        if inner.net.node_crashed("fabric-orderer") {
+            continue;
+        }
         if batch.len() >= inner.config.max_batch || (timed_out && !batch.is_empty()) {
             let full = std::mem::take(&mut batch);
             batch_deadline = None;
@@ -465,13 +472,16 @@ impl BlockchainClient for FabricSim {
 
     fn submit(&self, tx: SignedTransaction) -> Result<TxId, ChainError> {
         if self.inner.shutdown.load(Ordering::Relaxed) {
-            return Err(ChainError::Shutdown);
+            return Err(ChainError::shutdown());
         }
+        // Submissions land on the first endorsing peer; an outage there
+        // surfaces as a transient error rather than silent acceptance.
+        check_node_ingress(&self.inner.net, &Self::peer_name(0))?;
         let id = tx.id;
         {
             let mut pending = self.inner.pending_ids.lock();
             if !pending.insert(id) {
-                return Err(ChainError::Rejected(MempoolError::Duplicate));
+                return Err(ChainError::rejected(MempoolError::Duplicate));
             }
         }
         match self.inner.endorse_tx.try_send(tx) {
@@ -480,21 +490,23 @@ impl BlockchainClient for FabricSim {
                 self.inner.pending_ids.lock().remove(&id);
                 self.inner.rejected_overload.fetch_add(1, Ordering::Relaxed);
                 self.inner.reject_debt.fetch_add(1, Ordering::Relaxed);
-                Err(ChainError::Rejected(MempoolError::Full))
+                // Backpressure, not a verdict on the transaction: the
+                // submitter may back off and retry.
+                Err(ChainError::rejected(MempoolError::Full))
             }
         }
     }
 
     fn latest_height(&self, shard: u32) -> Result<u64, ChainError> {
         if shard != 0 {
-            return Err(ChainError::UnknownShard(shard));
+            return Err(ChainError::unknown_shard(shard));
         }
         Ok(self.inner.ledger.read().height())
     }
 
     fn block_at(&self, shard: u32, height: u64) -> Result<Option<Block>, ChainError> {
         if shard != 0 {
-            return Err(ChainError::UnknownShard(shard));
+            return Err(ChainError::unknown_shard(shard));
         }
         Ok(self.inner.ledger.read().block_at(height).cloned())
     }
@@ -651,16 +663,16 @@ mod tests {
         chain.seed_account(Address::from_name("a"), 100, 0);
         let mut rejected = 0;
         for i in 0..50 {
-            if chain
-                .submit(signed(
-                    i,
-                    Op::DepositChecking {
-                        account: Address::from_name("a"),
-                        amount: 1,
-                    },
-                ))
-                .is_err()
-            {
+            if let Err(err) = chain.submit(signed(
+                i,
+                Op::DepositChecking {
+                    account: Address::from_name("a"),
+                    amount: 1,
+                },
+            )) {
+                // Overload is observable backpressure: retryable, not fatal.
+                assert_eq!(err.kind(), hammer_chain::ErrorKind::Backpressure);
+                assert!(err.is_retryable());
                 rejected += 1;
             }
         }
@@ -677,10 +689,9 @@ mod tests {
         });
         let tx = signed(1, Op::KvGet { key: 1 });
         chain.submit(tx.clone()).unwrap();
-        assert!(matches!(
-            chain.submit(tx),
-            Err(ChainError::Rejected(MempoolError::Duplicate))
-        ));
+        let err = chain.submit(tx).unwrap_err();
+        assert_eq!(err.rejection(), Some(MempoolError::Duplicate));
+        assert!(!err.is_retryable());
         chain.shutdown();
     }
 

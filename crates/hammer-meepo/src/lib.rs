@@ -28,7 +28,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crossbeam::channel::{Receiver, RecvTimeoutError};
-use hammer_chain::client::{Architecture, BlockchainClient, ChainError, CommitEvent};
+use hammer_chain::client::{
+    check_node_ingress, Architecture, BlockchainClient, ChainError, CommitEvent,
+};
 use hammer_chain::events::CommitBus;
 use hammer_chain::ledger::Ledger;
 use hammer_chain::mempool::Mempool;
@@ -270,6 +272,11 @@ fn shard_epoch_loop(inner: Arc<Inner>, shard_id: u32) {
         if inner.shutdown.load(Ordering::Relaxed) {
             return;
         }
+        // A crashed shard leader cuts no epochs; its mempool and relayed
+        // credits wait for the restart. Other shards are unaffected.
+        if inner.net.node_crashed(&MeepoSim::node_name(shard_id, 0)) {
+            continue;
+        }
         let shard = &inner.shards[shard_id as usize];
 
         // 1. Apply cross-epoch credits relayed from other shards.
@@ -460,17 +467,20 @@ impl BlockchainClient for MeepoSim {
 
     fn submit(&self, tx: SignedTransaction) -> Result<TxId, ChainError> {
         if self.inner.shutdown.load(Ordering::Relaxed) {
-            return Err(ChainError::Shutdown);
+            return Err(ChainError::shutdown());
         }
         // Route by the first touched account (the transaction's home
         // shard, where its debit executes).
         let touched = tx.tx.op.touched_accounts();
         let shard = touched.first().map(|a| self.shard_of(*a)).unwrap_or(0);
+        // Ingress goes through the target shard's leader; a fault there
+        // only affects that shard.
+        check_node_ingress(&self.inner.net, &Self::node_name(shard, 0))?;
         let id = tx.id;
         self.inner.shards[shard as usize]
             .mempool
             .push(tx)
-            .map_err(ChainError::Rejected)?;
+            .map_err(ChainError::rejected)?;
         Ok(id)
     }
 
@@ -479,7 +489,7 @@ impl BlockchainClient for MeepoSim {
             .inner
             .shards
             .get(shard as usize)
-            .ok_or(ChainError::UnknownShard(shard))?;
+            .ok_or(ChainError::unknown_shard(shard))?;
         Ok(s.ledger.read().height())
     }
 
@@ -488,7 +498,7 @@ impl BlockchainClient for MeepoSim {
             .inner
             .shards
             .get(shard as usize)
-            .ok_or(ChainError::UnknownShard(shard))?;
+            .ok_or(ChainError::unknown_shard(shard))?;
         Ok(s.ledger.read().block_at(height).cloned())
     }
 
@@ -694,10 +704,49 @@ mod tests {
     #[test]
     fn unknown_shard_query_rejected() {
         let chain = fast_chain(MeepoConfig::default());
-        assert!(matches!(
-            chain.latest_height(5),
-            Err(ChainError::UnknownShard(5))
+        assert_eq!(chain.latest_height(5).unwrap_err().shard(), Some(5));
+        chain.shutdown();
+    }
+
+    #[test]
+    fn shard_leader_crash_only_affects_its_shard() {
+        use hammer_net::FaultPlan;
+        let chain = fast_chain(MeepoConfig {
+            epoch_interval: Duration::from_millis(200),
+            ..MeepoConfig::default()
+        });
+        chain.inner.net.install_faults(FaultPlan::new().crash(
+            "meepo-s0-node-0",
+            Duration::ZERO,
+            Duration::from_secs(3600),
         ));
+        let a0 = addr_on_shard(0, 7);
+        let a1 = addr_on_shard(1, 7);
+        chain.seed_account(a0, 1000, 0);
+        chain.seed_account(a1, 1000, 0);
+        // Shard 0 ingress is down...
+        let err = chain
+            .submit(signed(
+                1,
+                Op::DepositChecking {
+                    account: a0,
+                    amount: 1,
+                },
+            ))
+            .unwrap_err();
+        assert!(err.is_unavailable());
+        // ...while shard 1 keeps accepting and committing.
+        chain
+            .submit(signed(
+                2,
+                Op::DepositChecking {
+                    account: a1,
+                    amount: 1,
+                },
+            ))
+            .unwrap();
+        assert!(wait_until(|| chain.stats().committed >= 1, 5000));
+        assert_eq!(chain.latest_height(0).unwrap(), 0);
         chain.shutdown();
     }
 

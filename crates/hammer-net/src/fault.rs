@@ -1,0 +1,397 @@
+//! Scripted, deterministic fault injection.
+//!
+//! A [`FaultPlan`] is a list of [`FaultWindow`]s keyed on *simulated* time:
+//! between `start` and `end` the window's [`Fault`] is active. Plans are
+//! immutable once installed on a [`crate::SimNetwork`], so a run under
+//! faults is exactly reproducible — same clock, same seed, same plan, same
+//! outcome. Faults compose with the probabilistic [`crate::LinkConfig`]
+//! loss/jitter model: a message must first survive the plan (partition,
+//! blackhole, crash) and then the link's own loss sample; latency spikes
+//! add on top of the link's sampled delay.
+//!
+//! Four fault shapes cover the scenarios robustness-oriented drivers
+//! (Gromit-style) inject:
+//!
+//! * [`Fault::Crash`] — the node is down: it neither sends, receives, nor
+//!   serves requests. Chain simulators additionally stop
+//!   producing/endorsing on a crashed node and fail ingress with a
+//!   transient error.
+//! * [`Fault::Blackhole`] — the node's process is alive but all its
+//!   traffic is silently dropped (the classic "switch ate my port"
+//!   failure). Ingress to a blackholed node times out at the RPC layer.
+//! * [`Fault::Partition`] — endpoints listed in different groups cannot
+//!   exchange messages; unlisted endpoints talk to everyone (the same
+//!   semantics as [`crate::SimNetwork::partition`], but windowed and
+//!   scripted instead of imperative).
+//! * [`Fault::LatencySpike`] — every delivery involving the target (or
+//!   every delivery, if no target is named) takes `extra` longer.
+
+use std::time::Duration;
+
+/// One fault shape. See the module docs for semantics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Fault {
+    /// The node is fully down for the window: no ingress, no egress, no
+    /// block production.
+    Crash {
+        /// Endpoint name of the crashed node.
+        node: String,
+    },
+    /// All traffic to and from the node is silently dropped; the node
+    /// itself keeps running.
+    Blackhole {
+        /// Endpoint name of the blackholed node.
+        node: String,
+    },
+    /// Endpoints in different groups cannot exchange messages.
+    Partition {
+        /// Partition groups; endpoints not listed anywhere are unaffected.
+        groups: Vec<Vec<String>>,
+    },
+    /// Deliveries take `extra` longer than the link alone would impose.
+    LatencySpike {
+        /// Additional one-way delay (simulated time).
+        extra: Duration,
+        /// When set, only deliveries to or from this endpoint are slowed;
+        /// when `None` the spike is network-wide.
+        node: Option<String>,
+    },
+}
+
+/// A fault active during `[start, end)` of simulated time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultWindow {
+    /// Human-readable label, surfaced in per-window report breakdowns.
+    pub label: String,
+    /// Window start (inclusive), simulated time since run start.
+    pub start: Duration,
+    /// Window end (exclusive), simulated time since run start.
+    pub end: Duration,
+    /// The fault active inside the window.
+    pub fault: Fault,
+}
+
+impl FaultWindow {
+    /// Whether `now` falls inside the window.
+    pub fn contains(&self, now: Duration) -> bool {
+        self.start <= now && now < self.end
+    }
+
+    /// Window length.
+    pub fn duration(&self) -> Duration {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+/// How a node is currently impaired, from the viewpoint of a client
+/// calling into it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeFault {
+    /// The node's process is down (crash window active).
+    Crashed,
+    /// The node runs but its network traffic is dropped (blackhole).
+    Unreachable,
+}
+
+/// A scripted schedule of fault windows.
+///
+/// Build one with the fluent helpers, then install it on a network with
+/// [`crate::SimNetwork::install_faults`]:
+///
+/// ```
+/// use std::time::Duration;
+/// use hammer_net::fault::FaultPlan;
+///
+/// let plan = FaultPlan::new()
+///     .crash("eth-node-0", Duration::from_secs(1), Duration::from_secs(3))
+///     .latency_spike(
+///         Duration::from_millis(250),
+///         Duration::from_secs(4),
+///         Duration::from_secs(5),
+///     );
+/// assert_eq!(plan.windows().len(), 2);
+/// assert!(plan.crashed("eth-node-0", Duration::from_secs(2)));
+/// assert!(!plan.crashed("eth-node-0", Duration::from_secs(3)));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    windows: Vec<FaultWindow>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an arbitrary window.
+    pub fn with_window(mut self, window: FaultWindow) -> Self {
+        self.windows.push(window);
+        self
+    }
+
+    /// Crashes `node` during `[start, end)`.
+    pub fn crash(self, node: &str, start: Duration, end: Duration) -> Self {
+        self.with_window(FaultWindow {
+            label: format!("crash:{node}"),
+            start,
+            end,
+            fault: Fault::Crash {
+                node: node.to_owned(),
+            },
+        })
+    }
+
+    /// Blackholes `node` during `[start, end)`.
+    pub fn blackhole(self, node: &str, start: Duration, end: Duration) -> Self {
+        self.with_window(FaultWindow {
+            label: format!("blackhole:{node}"),
+            start,
+            end,
+            fault: Fault::Blackhole {
+                node: node.to_owned(),
+            },
+        })
+    }
+
+    /// Partitions the listed groups from each other during `[start, end)`.
+    pub fn partition(self, groups: &[&[&str]], start: Duration, end: Duration) -> Self {
+        let groups: Vec<Vec<String>> = groups
+            .iter()
+            .map(|g| g.iter().map(|s| (*s).to_owned()).collect())
+            .collect();
+        self.with_window(FaultWindow {
+            label: "partition".to_owned(),
+            start,
+            end,
+            fault: Fault::Partition { groups },
+        })
+    }
+
+    /// Adds `extra` delay to every delivery during `[start, end)`.
+    pub fn latency_spike(self, extra: Duration, start: Duration, end: Duration) -> Self {
+        self.with_window(FaultWindow {
+            label: format!("latency:+{}ms", extra.as_millis()),
+            start,
+            end,
+            fault: Fault::LatencySpike { extra, node: None },
+        })
+    }
+
+    /// Adds `extra` delay to deliveries touching `node` during
+    /// `[start, end)`.
+    pub fn latency_spike_on(
+        self,
+        node: &str,
+        extra: Duration,
+        start: Duration,
+        end: Duration,
+    ) -> Self {
+        self.with_window(FaultWindow {
+            label: format!("latency:{node}:+{}ms", extra.as_millis()),
+            start,
+            end,
+            fault: Fault::LatencySpike {
+                extra,
+                node: Some(node.to_owned()),
+            },
+        })
+    }
+
+    /// All scripted windows, in insertion order.
+    pub fn windows(&self) -> &[FaultWindow] {
+        &self.windows
+    }
+
+    /// Whether the plan schedules any fault at all.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Labels of every window active at `now`.
+    pub fn active_labels(&self, now: Duration) -> Vec<&str> {
+        self.windows
+            .iter()
+            .filter(|w| w.contains(now))
+            .map(|w| w.label.as_str())
+            .collect()
+    }
+
+    /// Rejects windows whose `start >= end`.
+    pub fn validate(&self) -> Result<(), String> {
+        for w in &self.windows {
+            if w.start >= w.end {
+                return Err(format!(
+                    "fault window '{}' is empty or inverted ({:?} >= {:?})",
+                    w.label, w.start, w.end
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether a crash window covers `node` at `now`.
+    pub fn crashed(&self, node: &str, now: Duration) -> bool {
+        self.windows
+            .iter()
+            .any(|w| w.contains(now) && matches!(&w.fault, Fault::Crash { node: n } if n == node))
+    }
+
+    /// Whether a blackhole window covers `node` at `now`.
+    pub fn blackholed(&self, node: &str, now: Duration) -> bool {
+        self.windows.iter().any(|w| {
+            w.contains(now) && matches!(&w.fault, Fault::Blackhole { node: n } if n == node)
+        })
+    }
+
+    /// The strongest impairment on `node` at `now`, if any. A crash
+    /// dominates a blackhole when both windows overlap.
+    pub fn node_fault(&self, node: &str, now: Duration) -> Option<NodeFault> {
+        if self.crashed(node, now) {
+            Some(NodeFault::Crashed)
+        } else if self.blackholed(node, now) {
+            Some(NodeFault::Unreachable)
+        } else {
+            None
+        }
+    }
+
+    /// Whether the plan severs the directed link `from -> to` at `now`
+    /// (either endpoint crashed or blackholed, or a partition window puts
+    /// the endpoints in different groups).
+    pub fn link_cut(&self, from: &str, to: &str, now: Duration) -> bool {
+        self.windows
+            .iter()
+            .filter(|w| w.contains(now))
+            .any(|w| match &w.fault {
+                Fault::Crash { node } | Fault::Blackhole { node } => node == from || node == to,
+                Fault::Partition { groups } => {
+                    let group_of =
+                        |name: &str| groups.iter().position(|g| g.iter().any(|m| m == name));
+                    matches!((group_of(from), group_of(to)), (Some(a), Some(b)) if a != b)
+                }
+                Fault::LatencySpike { .. } => false,
+            })
+    }
+
+    /// Total extra delay the plan imposes on `from -> to` at `now`.
+    /// Overlapping spikes stack.
+    pub fn extra_latency(&self, from: &str, to: &str, now: Duration) -> Duration {
+        self.windows
+            .iter()
+            .filter(|w| w.contains(now))
+            .filter_map(|w| match &w.fault {
+                Fault::LatencySpike { extra, node: None } => Some(*extra),
+                Fault::LatencySpike {
+                    extra,
+                    node: Some(n),
+                } if n == from || n == to => Some(*extra),
+                _ => None,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: u64) -> Duration {
+        Duration::from_secs(s)
+    }
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        assert!(!plan.link_cut("a", "b", secs(0)));
+        assert_eq!(plan.node_fault("a", secs(0)), None);
+        assert_eq!(plan.extra_latency("a", "b", secs(0)), Duration::ZERO);
+    }
+
+    #[test]
+    fn crash_window_is_half_open() {
+        let plan = FaultPlan::new().crash("n", secs(1), secs(3));
+        assert!(!plan.crashed("n", Duration::from_millis(999)));
+        assert!(plan.crashed("n", secs(1)));
+        assert!(plan.crashed("n", Duration::from_millis(2999)));
+        assert!(!plan.crashed("n", secs(3)));
+        assert!(!plan.crashed("other", secs(2)));
+    }
+
+    #[test]
+    fn crash_cuts_both_directions() {
+        let plan = FaultPlan::new().crash("n", secs(1), secs(3));
+        assert!(plan.link_cut("n", "peer", secs(2)));
+        assert!(plan.link_cut("peer", "n", secs(2)));
+        assert!(!plan.link_cut("peer", "other", secs(2)));
+    }
+
+    #[test]
+    fn blackhole_is_unreachable_not_crashed() {
+        let plan = FaultPlan::new().blackhole("n", secs(0), secs(5));
+        assert_eq!(plan.node_fault("n", secs(1)), Some(NodeFault::Unreachable));
+        assert!(!plan.crashed("n", secs(1)));
+        assert!(plan.link_cut("n", "peer", secs(1)));
+    }
+
+    #[test]
+    fn crash_dominates_blackhole() {
+        let plan = FaultPlan::new()
+            .blackhole("n", secs(0), secs(5))
+            .crash("n", secs(2), secs(3));
+        assert_eq!(plan.node_fault("n", secs(1)), Some(NodeFault::Unreachable));
+        assert_eq!(plan.node_fault("n", secs(2)), Some(NodeFault::Crashed));
+        assert_eq!(plan.node_fault("n", secs(4)), Some(NodeFault::Unreachable));
+    }
+
+    #[test]
+    fn partition_groups_follow_listing() {
+        let plan = FaultPlan::new().partition(&[&["a", "b"], &["c"]], secs(1), secs(2));
+        assert!(plan.link_cut("a", "c", Duration::from_millis(1500)));
+        assert!(!plan.link_cut("a", "b", Duration::from_millis(1500)));
+        // Unlisted endpoints talk to everyone.
+        assert!(!plan.link_cut("a", "x", Duration::from_millis(1500)));
+        // Outside the window nothing is cut.
+        assert!(!plan.link_cut("a", "c", secs(3)));
+    }
+
+    #[test]
+    fn latency_spikes_stack_and_scope() {
+        let plan = FaultPlan::new()
+            .latency_spike(Duration::from_millis(100), secs(0), secs(10))
+            .latency_spike_on("n", Duration::from_millis(50), secs(0), secs(10));
+        assert_eq!(
+            plan.extra_latency("n", "peer", secs(5)),
+            Duration::from_millis(150)
+        );
+        assert_eq!(
+            plan.extra_latency("a", "b", secs(5)),
+            Duration::from_millis(100)
+        );
+    }
+
+    #[test]
+    fn validate_rejects_inverted_windows() {
+        let good = FaultPlan::new().crash("n", secs(1), secs(2));
+        assert!(good.validate().is_ok());
+        let bad = FaultPlan::new().crash("n", secs(2), secs(2));
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn active_labels_report_windows() {
+        let plan = FaultPlan::new().crash("n", secs(1), secs(3)).latency_spike(
+            Duration::from_millis(10),
+            secs(2),
+            secs(4),
+        );
+        assert_eq!(plan.active_labels(secs(0)), Vec::<&str>::new());
+        assert_eq!(plan.active_labels(secs(1)), vec!["crash:n"]);
+        assert_eq!(
+            plan.active_labels(Duration::from_millis(2500)),
+            vec!["crash:n", "latency:+10ms"]
+        );
+    }
+}

@@ -12,6 +12,9 @@
 //! * [`link::LinkConfig`] — per-link latency, jitter, bandwidth and loss.
 //! * [`network::SimNetwork`] — a message bus connecting named endpoints with
 //!   per-link delay/loss and partition injection.
+//! * [`fault::FaultPlan`] — scripted, clock-driven fault windows (node
+//!   crash/restart, blackhole, partition, latency spike) that compose with
+//!   the probabilistic link model for robustness evaluations.
 //!
 //! # Example
 //!
@@ -33,9 +36,11 @@
 #![forbid(unsafe_code)]
 
 pub mod clock;
+pub mod fault;
 pub mod link;
 pub mod network;
 
 pub use clock::SimClock;
+pub use fault::{Fault, FaultPlan, FaultWindow, NodeFault};
 pub use link::LinkConfig;
-pub use network::{Endpoint, Message, NetError, SimNetwork};
+pub use network::{Endpoint, Message, NetError, SimNetwork, DEFAULT_NET_SEED};

@@ -17,7 +17,13 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::clock::SimClock;
+use crate::fault::{FaultPlan, NodeFault};
 use crate::link::LinkConfig;
+
+/// Default RNG seed for delay/loss sampling. One fixed seed (rather than
+/// per-call-site entropy) keeps probabilistic loss reproducible; override
+/// it per run with [`SimNetwork::with_seed`] or [`SimNetwork::reseed`].
+pub const DEFAULT_NET_SEED: u64 = 0xbeef_cafe;
 
 /// A message in flight or delivered.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -126,6 +132,8 @@ struct Shared {
     /// Partition group of each endpoint; endpoints in different groups
     /// cannot communicate. Empty map means no partition.
     partition: Mutex<HashMap<String, usize>>,
+    /// Scripted fault schedule, consulted against the clock on every send.
+    faults: Mutex<Option<Arc<FaultPlan>>>,
     sched: Mutex<SchedulerState>,
     sched_cv: Condvar,
     rng: Mutex<StdRng>,
@@ -144,6 +152,9 @@ pub struct NetStats {
     pub lost: u64,
     /// Messages dropped because a partition separated the pair.
     pub partitioned: u64,
+    /// Messages dropped by an active fault window (crash, blackhole, or
+    /// scripted partition).
+    pub faulted: u64,
     /// Total payload bytes accepted.
     pub bytes_sent: u64,
 }
@@ -165,8 +176,15 @@ impl std::fmt::Debug for SimNetwork {
 
 impl SimNetwork {
     /// Creates a network with the given clock and default link quality,
-    /// spawning the delivery scheduler thread.
+    /// spawning the delivery scheduler thread. Uses [`DEFAULT_NET_SEED`]
+    /// for delay/loss sampling; see [`SimNetwork::with_seed`].
     pub fn new(clock: SimClock, default_link: LinkConfig) -> Self {
+        Self::with_seed(clock, default_link, DEFAULT_NET_SEED)
+    }
+
+    /// Creates a network whose probabilistic delay/loss sampling is driven
+    /// by `seed`, so lossy-link and fault runs are reproducible end to end.
+    pub fn with_seed(clock: SimClock, default_link: LinkConfig, seed: u64) -> Self {
         default_link
             .validate()
             .expect("default link configuration must be valid");
@@ -176,9 +194,10 @@ impl SimNetwork {
             endpoints: Mutex::new(HashMap::new()),
             links: Mutex::new(HashMap::new()),
             partition: Mutex::new(HashMap::new()),
+            faults: Mutex::new(None),
             sched: Mutex::new(SchedulerState::default()),
             sched_cv: Condvar::new(),
-            rng: Mutex::new(StdRng::seed_from_u64(0xbeef_cafe)),
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
             seq: Mutex::new(0),
             stats: Mutex::new(NetStats::default()),
         });
@@ -250,6 +269,43 @@ impl SimNetwork {
         self.shared.partition.lock().clear();
     }
 
+    /// Installs a scripted fault schedule. Windows are evaluated against
+    /// this network's clock on every send; chain simulators additionally
+    /// consult [`SimNetwork::node_fault`] to gate production and ingress.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the plan contains an empty or inverted window —
+    /// scripted faults are test fixtures and a malformed one is a
+    /// programming error.
+    pub fn install_faults(&self, plan: FaultPlan) {
+        plan.validate().expect("fault plan must be valid");
+        *self.shared.faults.lock() = Some(Arc::new(plan));
+    }
+
+    /// Removes any installed fault schedule.
+    pub fn clear_faults(&self) {
+        *self.shared.faults.lock() = None;
+    }
+
+    /// The currently installed fault schedule, if any.
+    pub fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        self.shared.faults.lock().clone()
+    }
+
+    /// How `name` is impaired right now (per the installed plan and this
+    /// network's clock), if at all.
+    pub fn node_fault(&self, name: &str) -> Option<NodeFault> {
+        let plan = self.shared.faults.lock().clone()?;
+        plan.node_fault(name, self.shared.clock.now())
+    }
+
+    /// Whether `name` is crash-faulted right now. Production loops poll
+    /// this to stop sealing blocks while their node is down.
+    pub fn node_crashed(&self, name: &str) -> bool {
+        matches!(self.node_fault(name), Some(NodeFault::Crashed))
+    }
+
     /// Sends `payload` from `from` to `to`, scheduling delivery after the
     /// link's sampled delay. Returns immediately.
     pub fn send(&self, from: &str, to: &str, payload: Vec<u8>) -> Result<(), NetError> {
@@ -271,6 +327,22 @@ impl SimNetwork {
                 }
             }
         }
+        // Scripted fault check: severed links drop silently (like a real
+        // partition), active latency spikes stretch the delivery below.
+        let fault_extra = {
+            let plan = self.shared.faults.lock().clone();
+            match plan {
+                Some(plan) => {
+                    let now = self.shared.clock.now();
+                    if plan.link_cut(from, to, now) {
+                        self.shared.stats.lock().faulted += 1;
+                        return Ok(());
+                    }
+                    plan.extra_latency(from, to, now)
+                }
+                None => Duration::ZERO,
+            }
+        };
         let link = self
             .shared
             .links
@@ -289,7 +361,7 @@ impl SimNetwork {
             self.shared.stats.lock().lost += 1;
             return Ok(());
         }
-        let wall_delay = self.shared.clock.to_wall(sim_delay);
+        let wall_delay = self.shared.clock.to_wall(sim_delay + fault_extra);
         let msg = Message {
             from: from.to_owned(),
             to: to.to_owned(),
@@ -562,6 +634,53 @@ mod tests {
             net.send("a", "b", vec![]),
             Err(NetError::UnknownEndpoint(_))
         ));
+    }
+
+    #[test]
+    fn fault_plan_cuts_links_inside_window() {
+        use crate::fault::FaultPlan;
+        // Start the window at zero so no clock race is possible.
+        let net = fast_net();
+        let _a = net.register("a");
+        let b = net.register("b");
+        net.install_faults(FaultPlan::new().crash("b", Duration::ZERO, Duration::from_secs(3600)));
+        net.send("a", "b", b"dropped".to_vec()).unwrap();
+        assert!(b.recv_timeout(Duration::from_millis(100)).is_err());
+        assert_eq!(net.stats().faulted, 1);
+        assert!(net.node_crashed("b"));
+        assert!(!net.node_crashed("a"));
+        net.clear_faults();
+        net.send("a", "b", b"through".to_vec()).unwrap();
+        assert!(b.recv_timeout(Duration::from_secs(2)).is_ok());
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_loss_pattern() {
+        let lossy = LinkConfig {
+            base_latency: Duration::ZERO,
+            jitter: Duration::ZERO,
+            bandwidth_bps: None,
+            loss_probability: 0.3,
+        };
+        let run = |seed: u64| {
+            let net = SimNetwork::with_seed(SimClock::with_speedup(1000.0), lossy, seed);
+            let _a = net.register("a");
+            let _b = net.register("b");
+            for _ in 0..100 {
+                net.send("a", "b", vec![0]).unwrap();
+            }
+            net.stats().lost
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "distinct seeds should diverge");
+    }
+
+    #[test]
+    #[should_panic(expected = "fault plan must be valid")]
+    fn installing_inverted_window_panics() {
+        use crate::fault::FaultPlan;
+        let net = fast_net();
+        net.install_faults(FaultPlan::new().crash("x", Duration::from_secs(2), Duration::ZERO));
     }
 
     #[test]

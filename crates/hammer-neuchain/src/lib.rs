@@ -19,7 +19,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crossbeam::channel::{Receiver, RecvTimeoutError};
-use hammer_chain::client::{Architecture, BlockchainClient, ChainError, CommitEvent};
+use hammer_chain::client::{
+    check_node_ingress, Architecture, BlockchainClient, ChainError, CommitEvent,
+};
 use hammer_chain::events::CommitBus;
 use hammer_chain::ledger::Ledger;
 use hammer_chain::mempool::Mempool;
@@ -200,6 +202,11 @@ fn epoch_loop(inner: Arc<Inner>) {
         if inner.shutdown.load(Ordering::Relaxed) {
             return;
         }
+        // A crashed epoch server cuts no epochs; pooled transactions wait
+        // for the restart.
+        if inner.net.node_crashed("neuchain-epoch-server") {
+            continue;
+        }
         let mut txs = inner.mempool.drain(inner.config.max_block_txs);
         if txs.is_empty() {
             // Neuchain still advances epochs, but empty blocks are elided
@@ -300,23 +307,24 @@ impl BlockchainClient for NeuchainSim {
 
     fn submit(&self, tx: SignedTransaction) -> Result<TxId, ChainError> {
         if self.inner.shutdown.load(Ordering::Relaxed) {
-            return Err(ChainError::Shutdown);
+            return Err(ChainError::shutdown());
         }
+        check_node_ingress(&self.inner.net, "neuchain-client-proxy")?;
         let id = tx.id;
-        self.inner.mempool.push(tx).map_err(ChainError::Rejected)?;
+        self.inner.mempool.push(tx).map_err(ChainError::rejected)?;
         Ok(id)
     }
 
     fn latest_height(&self, shard: u32) -> Result<u64, ChainError> {
         if shard != 0 {
-            return Err(ChainError::UnknownShard(shard));
+            return Err(ChainError::unknown_shard(shard));
         }
         Ok(self.inner.ledger.read().height())
     }
 
     fn block_at(&self, shard: u32, height: u64) -> Result<Option<Block>, ChainError> {
         if shard != 0 {
-            return Err(ChainError::UnknownShard(shard));
+            return Err(ChainError::unknown_shard(shard));
         }
         Ok(self.inner.ledger.read().block_at(height).cloned())
     }
@@ -498,6 +506,46 @@ mod tests {
         }
         assert!(wait_until(|| chain.stats().committed >= 2000, 10_000));
         chain.verify_ledger().unwrap();
+        chain.shutdown();
+    }
+
+    #[test]
+    fn crash_window_halts_epochs_and_fails_ingress() {
+        use hammer_net::FaultPlan;
+        let clock = SimClock::with_speedup(1000.0);
+        let net = SimNetwork::new(clock.clone(), LinkConfig::cloud_100mbps());
+        let chain = NeuchainSim::start(NeuchainConfig::default(), clock.clone(), net.clone());
+        chain.seed_account(Address::from_name("a"), 10_000, 0);
+        // Crash both roles from the epoch start; restart at 2s (simulated).
+        net.install_faults(
+            FaultPlan::new()
+                .crash(
+                    "neuchain-client-proxy",
+                    Duration::ZERO,
+                    Duration::from_secs(2),
+                )
+                .crash(
+                    "neuchain-epoch-server",
+                    Duration::ZERO,
+                    Duration::from_secs(2),
+                ),
+        );
+        let deposit = |n| {
+            signed(
+                n,
+                Op::DepositChecking {
+                    account: Address::from_name("a"),
+                    amount: 1,
+                },
+            )
+        };
+        let err = chain.submit(deposit(1)).unwrap_err();
+        assert!(err.is_unavailable(), "expected outage error, got {err}");
+        assert!(err.is_retryable());
+        assert_eq!(chain.latest_height(0).unwrap(), 0);
+        // After the restart the same transaction goes through and commits.
+        assert!(wait_until(|| chain.submit(deposit(2)).is_ok(), 5000));
+        assert!(wait_until(|| chain.stats().committed >= 1, 5000));
         chain.shutdown();
     }
 

@@ -23,4 +23,4 @@ pub use kv::KvStore;
 pub use monitor::{ResourceMonitor, ResourceSample};
 pub use report::{render_series, render_table};
 pub use sql::{query, ResultSet, SqlError};
-pub use table::{PerfRow, TableStore};
+pub use table::{PerfRow, RowOutcome, TableStore};

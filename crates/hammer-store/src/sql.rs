@@ -175,6 +175,7 @@ enum Column {
     StartTime,
     EndTime,
     Status,
+    Outcome,
 }
 
 impl Column {
@@ -187,6 +188,7 @@ impl Column {
             "start_time" => Some(Column::StartTime),
             "end_time" => Some(Column::EndTime),
             "status" => Some(Column::Status),
+            "outcome" => Some(Column::Outcome),
             _ => None,
         }
     }
@@ -200,6 +202,7 @@ impl Column {
             Column::StartTime => "start_time",
             Column::EndTime => "end_time",
             Column::Status => "status",
+            Column::Outcome => "outcome",
         }
     }
 }
@@ -419,7 +422,9 @@ fn eval_column(row: &PerfRow, column: Column) -> Cell {
             None => Cell::Null,
         },
         // The paper's schema stores STATUS as '1'/'0' strings.
-        Column::Status => Cell::Text(if row.status_ok { "1" } else { "0" }.to_owned()),
+        Column::Status => Cell::Text(if row.status_ok() { "1" } else { "0" }.to_owned()),
+        // Fault-injection extension: the terminal outcome label.
+        Column::Outcome => Cell::Text(row.outcome.as_str().to_owned()),
     }
 }
 
@@ -477,7 +482,7 @@ fn compare(l: f64, r: f64, op: &str) -> bool {
     }
 }
 
-const ALL_COLUMNS: [Column; 7] = [
+const ALL_COLUMNS: [Column; 8] = [
     Column::TxId,
     Column::ClientId,
     Column::ServerId,
@@ -485,6 +490,7 @@ const ALL_COLUMNS: [Column; 7] = [
     Column::StartTime,
     Column::EndTime,
     Column::Status,
+    Column::Outcome,
 ];
 
 /// Parses and executes a query against the table.
@@ -577,7 +583,11 @@ mod tests {
             chain: "fabric-sim".to_owned(),
             start_time: Duration::from_millis(start_ms),
             end_time: end_ms.map(Duration::from_millis),
-            status_ok: ok,
+            outcome: if ok {
+                crate::table::RowOutcome::Committed
+            } else {
+                crate::table::RowOutcome::Failed
+            },
         };
         store.insert(mk(1, 0, Some(400), true));
         store.insert(mk(2, 100, Some(1000), true));
@@ -628,8 +638,21 @@ mod tests {
     fn select_star() {
         let store = seeded_store();
         let result = query(&store, "select * from performance where status = '0'").unwrap();
-        assert_eq!(result.columns.len(), 7);
+        assert_eq!(result.columns.len(), 8);
         assert_eq!(result.rows.len(), 2);
+    }
+
+    #[test]
+    fn outcome_column_queryable() {
+        let store = seeded_store();
+        let result = query(
+            &store,
+            "SELECT COUNT(*) FROM Performance WHERE outcome = 'committed'",
+        )
+        .unwrap();
+        assert_eq!(result.rows[0][0], "3");
+        let result = query(&store, "SELECT outcome FROM Performance WHERE tx_id = 4").unwrap();
+        assert_eq!(result.rows, vec![vec!["failed".to_owned()]]);
     }
 
     #[test]

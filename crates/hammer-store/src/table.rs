@@ -10,6 +10,67 @@ use std::time::Duration;
 
 use parking_lot::RwLock;
 
+/// Terminal outcome of a transaction, as recorded in the `Performance`
+/// table. The paper's schema only stores a `'1'`/`'0'` STATUS flag; the
+/// fault-injection extension needs to distinguish *why* a transaction
+/// never committed (dropped by the retry budget vs. expired past the
+/// per-slice deadline vs. simply unobserved).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RowOutcome {
+    /// Committed successfully (`STATUS = '1'`).
+    Committed,
+    /// Included on-chain but invalid (execution/MVCC failure).
+    Failed,
+    /// Never observed before the drain deadline.
+    TimedOut,
+    /// Abandoned after exhausting the submission retry budget.
+    Dropped,
+    /// Abandoned after the per-slice retry deadline passed.
+    Expired,
+}
+
+impl RowOutcome {
+    /// Stable lowercase label (CSV/SQL rendering).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RowOutcome::Committed => "committed",
+            RowOutcome::Failed => "failed",
+            RowOutcome::TimedOut => "timed_out",
+            RowOutcome::Dropped => "dropped",
+            RowOutcome::Expired => "expired",
+        }
+    }
+
+    /// Stable one-byte wire code (the Fig. 2 status pipeline).
+    pub fn code(&self) -> u8 {
+        match self {
+            RowOutcome::Committed => 1,
+            RowOutcome::Failed => 0,
+            RowOutcome::TimedOut => 2,
+            RowOutcome::Dropped => 3,
+            RowOutcome::Expired => 4,
+        }
+    }
+
+    /// Inverse of [`RowOutcome::code`]; `None` on an unknown byte.
+    pub fn from_code(code: u8) -> Option<RowOutcome> {
+        match code {
+            1 => Some(RowOutcome::Committed),
+            0 => Some(RowOutcome::Failed),
+            2 => Some(RowOutcome::TimedOut),
+            3 => Some(RowOutcome::Dropped),
+            4 => Some(RowOutcome::Expired),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for RowOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// One row of the `Performance` table.
 #[derive(Clone, Debug, PartialEq)]
 pub struct PerfRow {
@@ -25,14 +86,19 @@ pub struct PerfRow {
     pub start_time: Duration,
     /// Commit timestamp (simulated); `None` while pending / timed out.
     pub end_time: Option<Duration>,
-    /// `'1'` in the paper's schema: committed successfully.
-    pub status_ok: bool,
+    /// Terminal outcome (`'1'` in the paper's schema ⇔ `Committed`).
+    pub outcome: RowOutcome,
 }
 
 impl PerfRow {
     /// Transaction latency, when completed.
     pub fn latency(&self) -> Option<Duration> {
         self.end_time.map(|e| e.saturating_sub(self.start_time))
+    }
+
+    /// The paper's boolean STATUS flag: committed successfully.
+    pub fn status_ok(&self) -> bool {
+        self.outcome == RowOutcome::Committed
     }
 }
 
@@ -109,7 +175,7 @@ impl TableStore {
         self.rows
             .read()
             .iter()
-            .filter(|r| r.status_ok)
+            .filter(|r| r.status_ok())
             .filter(|r| r.latency().is_some_and(|l| l <= Duration::from_secs(1)))
             .count()
     }
@@ -140,7 +206,7 @@ impl TableStore {
         let rows = self.rows.read();
         let horizon = rows
             .iter()
-            .filter(|r| r.status_ok)
+            .filter(|r| r.status_ok())
             .filter_map(|r| r.end_time)
             .max()
             .unwrap_or(Duration::ZERO);
@@ -149,7 +215,7 @@ impl TableStore {
         }
         let n_buckets = (horizon.as_secs_f64() / bucket.as_secs_f64()).floor() as usize + 1;
         let mut series = vec![0usize; n_buckets];
-        for row in rows.iter().filter(|r| r.status_ok) {
+        for row in rows.iter().filter(|r| r.status_ok()) {
             if let Some(end) = row.end_time {
                 let idx = (end.as_secs_f64() / bucket.as_secs_f64()).floor() as usize;
                 series[idx.min(n_buckets - 1)] += 1;
@@ -162,7 +228,7 @@ impl TableStore {
     /// span from first submission to last commit.
     pub fn overall_tps(&self) -> f64 {
         let rows = self.rows.read();
-        let committed: Vec<&PerfRow> = rows.iter().filter(|r| r.status_ok).collect();
+        let committed: Vec<&PerfRow> = rows.iter().filter(|r| r.status_ok()).collect();
         if committed.is_empty() {
             return 0.0;
         }
@@ -184,7 +250,7 @@ impl TableStore {
         let rows = self.rows.read();
         let mut lats: Vec<f64> = rows
             .iter()
-            .filter(|r| r.status_ok)
+            .filter(|r| r.status_ok())
             .filter_map(|r| r.latency())
             .map(|l| l.as_secs_f64())
             .collect();
@@ -213,7 +279,7 @@ impl TableStore {
         let mut failed = 0;
         let mut pending = 0;
         for r in rows.iter() {
-            if r.status_ok {
+            if r.status_ok() {
                 committed += 1;
             } else if r.end_time.is_some() {
                 failed += 1;
@@ -229,7 +295,7 @@ impl TableStore {
     pub fn per_client_committed(&self) -> Vec<(u32, usize)> {
         use std::collections::BTreeMap;
         let mut map: BTreeMap<u32, usize> = BTreeMap::new();
-        for r in self.rows.read().iter().filter(|r| r.status_ok) {
+        for r in self.rows.read().iter().filter(|r| r.status_ok()) {
             *map.entry(r.client_id).or_default() += 1;
         }
         map.into_iter().collect()
@@ -253,7 +319,11 @@ mod tests {
             chain: "test".to_owned(),
             start_time: Duration::from_millis(start_ms),
             end_time: end_ms.map(Duration::from_millis),
-            status_ok: ok,
+            outcome: if ok {
+                RowOutcome::Committed
+            } else {
+                RowOutcome::Failed
+            },
         }
     }
 

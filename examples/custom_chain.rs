@@ -54,7 +54,7 @@ impl BlockchainClient for InstantChain {
 
     fn submit(&self, tx: SignedTransaction) -> Result<TxId, ChainError> {
         if self.down.load(Ordering::Relaxed) {
-            return Err(ChainError::Shutdown);
+            return Err(ChainError::shutdown());
         }
         let id = tx.id;
         let success = self.state.lock().apply(&tx.tx.op).is_ok();
@@ -83,14 +83,14 @@ impl BlockchainClient for InstantChain {
 
     fn latest_height(&self, shard: u32) -> Result<u64, ChainError> {
         if shard != 0 {
-            return Err(ChainError::UnknownShard(shard));
+            return Err(ChainError::unknown_shard(shard));
         }
         Ok(self.ledger.read().height())
     }
 
     fn block_at(&self, shard: u32, height: u64) -> Result<Option<Block>, ChainError> {
         if shard != 0 {
-            return Err(ChainError::UnknownShard(shard));
+            return Err(ChainError::unknown_shard(shard));
         }
         Ok(self.ledger.read().block_at(height).cloned())
     }

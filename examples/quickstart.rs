@@ -32,7 +32,8 @@ fn main() {
     let control = ControlSequence::ramp(100, 600, 10, Duration::from_secs(1));
 
     // 4. Execute and report.
-    let report = Evaluation::new(EvalConfig::default())
+    let config = EvalConfig::builder().build().expect("valid config");
+    let report = Evaluation::new(config)
         .run(&deployment, &workload, &control)
         .expect("evaluation failed");
 

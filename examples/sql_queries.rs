@@ -26,12 +26,12 @@ fn main() {
         ..WorkloadConfig::default()
     };
     let control = ControlSequence::constant(150, 8, Duration::from_secs(1));
-    let config = EvalConfig {
-        machine: ClientMachine::unconstrained(),
-        live_sync: true, // statuses travel the KV -> table pipeline
-        drain_timeout: Duration::from_secs(60),
-        ..EvalConfig::default()
-    };
+    let config = EvalConfig::builder()
+        .machine(ClientMachine::unconstrained())
+        .live_sync(true) // statuses travel the KV -> table pipeline
+        .drain_timeout(Duration::from_secs(60))
+        .build()
+        .expect("valid config");
     let report = Evaluation::new(config)
         .run(&deployment, &workload, &control)
         .expect("evaluation failed");
@@ -51,7 +51,11 @@ fn main() {
                 server_id: r.server_id,
                 start_ns: r.start.as_nanos() as u64,
                 end_ns: r.end.map(|e| e.as_nanos() as u64).unwrap_or(u64::MAX),
-                ok: r.status == hammer::chain::types::TxStatus::Committed,
+                outcome: if r.status == hammer::chain::types::TxStatus::Committed {
+                    hammer::store::RowOutcome::Committed
+                } else {
+                    hammer::store::RowOutcome::Failed
+                },
             }
             .into_row("fabric-sim"),
         );

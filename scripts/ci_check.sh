@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# One-command offline CI gate: formatting, lints, the tier-1 suite, and
+# the error-taxonomy grep (no direct `ChainError::` variant use outside
+# hammer-chain — retry decisions must go through kind()/is_retryable()).
+#
+# Usage: scripts/ci_check.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (-D warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test"
+cargo build --workspace --release --offline
+cargo test --workspace --release --offline -q
+
+echo "==> grep gate: ChainError variants stay inside hammer-chain"
+# `ChainError::constructor(...)` helpers (lowercase) are the public API;
+# only variant paths (uppercase after ::) are forbidden outside the
+# defining crate.
+violations=$(grep -rn 'ChainError::[A-Z]' crates src examples tests benches 2>/dev/null \
+    | grep -v '^crates/hammer-chain/' || true)
+if [ -n "$violations" ]; then
+    echo "ci_check: direct ChainError variant use outside hammer-chain:" >&2
+    echo "$violations" >&2
+    exit 1
+fi
+
+echo "ci_check: all gates passed"

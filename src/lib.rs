@@ -24,7 +24,8 @@
 //! let deployment = Deployment::up(ChainSpec::neuchain_default(), 1000.0);
 //! let workload = WorkloadConfig { accounts: 100, ..WorkloadConfig::default() };
 //! let control = ControlSequence::constant(100, 2, Duration::from_secs(1));
-//! let report = Evaluation::new(EvalConfig::default())
+//! let config = EvalConfig::builder().build().unwrap();
+//! let report = Evaluation::new(config)
 //!     .run(&deployment, &workload, &control)
 //!     .unwrap();
 //! println!("{}: {:.0} TPS", report.chain, report.overall_tps);
