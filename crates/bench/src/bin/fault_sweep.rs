@@ -107,39 +107,15 @@ fn run_one(chain: &ChainSpec, scenario: &str, rate: u32, speedup: f64) -> EvalRe
         .expect("evaluation failed")
 }
 
-/// Appends one run as a JSON object (manual building — the workspace
-/// carries no serde dependency).
+/// Appends one run as a JSON object. Everything report-shaped now comes
+/// from [`EvalReport::to_json`] (fault windows included); only the
+/// scenario tag is sweep-specific.
 fn push_json_run(out: &mut String, report: &EvalReport, scenario: &str) {
     let _ = write!(
         out,
-        "    {{\"chain\": \"{}\", \"scenario\": \"{}\", \"submitted\": {}, \
-         \"committed\": {}, \"retried\": {}, \"dropped\": {}, \"expired\": {}, \
-         \"rejected\": {}, \"timed_out\": {}, \"overall_tps\": {:.2}, \"windows\": [",
-        report.chain,
-        scenario,
-        report.submitted,
-        report.committed,
-        report.retried,
-        report.dropped,
-        report.expired,
-        report.rejected,
-        report.timed_out,
-        report.overall_tps,
+        "    {{\"scenario\": \"{scenario}\", \"report\": {}}}",
+        report.to_json()
     );
-    for (i, w) in report.fault_windows.iter().enumerate() {
-        let _ = write!(
-            out,
-            "{}{{\"label\": \"{}\", \"start_s\": {:.1}, \"end_s\": {:.1}, \
-             \"committed\": {}, \"tps\": {:.2}}}",
-            if i == 0 { "" } else { ", " },
-            w.label,
-            w.start.as_secs_f64(),
-            w.end.as_secs_f64(),
-            w.committed,
-            w.tps,
-        );
-    }
-    out.push_str("]}");
 }
 
 fn main() {

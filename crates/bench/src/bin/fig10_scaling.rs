@@ -15,7 +15,7 @@
 
 use bench::save_csv;
 use hammer_core::deploy::{ChainSpec, Deployment};
-use hammer_core::driver::{EvalConfig, Evaluation};
+use hammer_core::driver::{EvalConfig, EvalReport, Evaluation};
 use hammer_core::machine::ClientMachine;
 use hammer_fabric::FabricConfig;
 use hammer_store::report::{render_table, to_csv};
@@ -33,14 +33,7 @@ fn paper_client() -> ClientMachine {
     }
 }
 
-struct Outcome {
-    tps: f64,
-    lat: f64,
-    conflicts: usize,
-    rejected: u64,
-}
-
-fn run(fabric: FabricConfig, clients: u32, threads: u32, workload: WorkloadConfig) -> Outcome {
+fn run(fabric: FabricConfig, clients: u32, threads: u32, workload: WorkloadConfig) -> EvalReport {
     // Moderate speed-up: the sweep compares 4-11 concurrent driver threads
     // on a 1-core host, so give every modelled delay enough wall time to
     // be scheduled accurately.
@@ -59,19 +52,14 @@ fn run(fabric: FabricConfig, clients: u32, threads: u32, workload: WorkloadConfi
         .drain_timeout(Duration::from_secs(60))
         .build()
         .expect("valid config");
-    let report = Evaluation::new(config)
+    Evaluation::new(config)
         .run(&deployment, &workload, &control)
-        .expect("run failed");
-    Outcome {
-        tps: report.overall_tps,
-        lat: report.latency.mean_s,
-        conflicts: report.failed,
-        rejected: report.rejected,
-    }
+        .expect("run failed")
 }
 
 fn main() {
     println!("=== Fig. 10: Fabric vs client threads and client count ===\n");
+    let mut json_runs: Vec<String> = Vec::new();
 
     // Sweep 1: one client, 1..6 threads. Uniform access over a large pool
     // keeps conflicts out of the picture; the client machine dominates.
@@ -90,11 +78,15 @@ fn main() {
         );
         rows.push(vec![
             threads.to_string(),
-            format!("{:.1}", out.tps),
-            format!("{:.3}", out.lat),
-            out.conflicts.to_string(),
+            format!("{:.1}", out.overall_tps),
+            format!("{:.3}", out.latency.mean_s),
+            out.failed.to_string(),
             out.rejected.to_string(),
         ]);
+        json_runs.push(format!(
+            "    {{\"sweep\": \"threads\", \"value\": {threads}, \"report\": {}}}",
+            out.to_json()
+        ));
     }
     let header = ["threads", "tps", "mean_lat_s", "conflicts", "rejected"];
     println!("--- thread sweep (1 client, 2 vCPUs) ---");
@@ -127,16 +119,33 @@ fn main() {
         );
         rows.push(vec![
             clients.to_string(),
-            format!("{:.1}", out.tps),
-            format!("{:.3}", out.lat),
-            out.conflicts.to_string(),
+            format!("{:.1}", out.overall_tps),
+            format!("{:.3}", out.latency.mean_s),
+            out.failed.to_string(),
             out.rejected.to_string(),
         ]);
+        json_runs.push(format!(
+            "    {{\"sweep\": \"clients\", \"value\": {clients}, \"report\": {}}}",
+            out.to_json()
+        ));
     }
     let header = ["clients", "tps", "mean_lat_s", "conflicts", "rejected"];
     println!("--- client sweep (2 threads per client) ---");
     println!("{}", render_table(&header, &rows));
     save_csv("fig10_clients", &to_csv(&header, &rows));
+
+    // Full machine-readable reports alongside the CSVs.
+    let json = format!("{{\n  \"runs\": [\n{}\n  ]\n}}\n", json_runs.join(",\n"));
+    let dir = std::path::Path::new("target/bench-results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create {dir:?}: {e}");
+    } else {
+        let path = dir.join("fig10_scaling.json");
+        match std::fs::write(&path, &json) {
+            Ok(()) => println!("[saved {}]", path.display()),
+            Err(e) => eprintln!("warning: cannot write {path:?}: {e}"),
+        }
+    }
 
     println!("Paper reference: best at 2 threads / 2 clients; more threads add");
     println!("scheduling overhead; more clients add conflicts, then node-side");

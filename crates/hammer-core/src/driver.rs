@@ -32,10 +32,12 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError};
-use hammer_chain::client::{BlockchainClient, ChainError};
+use hammer_chain::client::{BlockchainClient, ChainError, ErrorKind};
 use hammer_chain::types::{SignedTransaction, Transaction, TxId, TxStatus};
 use hammer_crypto::sig::SigParams;
 use hammer_crypto::Keypair;
+use hammer_net::FaultObserver;
+use hammer_obs::{Obs, Stage};
 use hammer_store::table::{LatencySummary, PerfRow, TableStore};
 use hammer_store::KvStore;
 use hammer_workload::{
@@ -338,6 +340,160 @@ pub struct EvalReport {
     pub records: Vec<TxRecord>,
 }
 
+impl EvalReport {
+    /// Serialises the report (minus the raw per-transaction records) as a
+    /// single JSON object, suitable for experiment bins that aggregate
+    /// many runs into one machine-readable file.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push('{');
+        push_str_field(&mut out, "chain", &self.chain);
+        push_u64_field(&mut out, "submitted", self.submitted);
+        push_u64_field(&mut out, "rejected", self.rejected);
+        push_u64_field(&mut out, "retried", self.retried);
+        push_u64_field(&mut out, "dropped", self.dropped as u64);
+        push_u64_field(&mut out, "expired", self.expired as u64);
+        push_u64_field(&mut out, "committed", self.committed as u64);
+        push_u64_field(&mut out, "failed", self.failed as u64);
+        push_u64_field(&mut out, "timed_out", self.timed_out as u64);
+        push_f64_field(&mut out, "overall_tps", self.overall_tps);
+        out.push_str("\"latency\":{");
+        push_u64_field(&mut out, "count", self.latency.count as u64);
+        push_f64_field(&mut out, "mean_s", self.latency.mean_s);
+        push_f64_field(&mut out, "p50_s", self.latency.p50_s);
+        push_f64_field(&mut out, "p95_s", self.latency.p95_s);
+        push_f64_field(&mut out, "p99_s", self.latency.p99_s);
+        push_f64_field(&mut out, "max_s", self.latency.max_s);
+        close_object(&mut out);
+        out.push(',');
+        out.push_str("\"tps_series\":[");
+        for (i, n) in self.tps_series.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&n.to_string());
+        }
+        out.push_str("],");
+        push_pairs_field(&mut out, "per_client_committed", &self.per_client_committed);
+        push_pairs_field(&mut out, "per_shard_committed", &self.per_shard_committed);
+        push_f64_field(&mut out, "sim_duration_s", self.sim_duration.as_secs_f64());
+        push_f64_field(&mut out, "wall_time_s", self.wall_time.as_secs_f64());
+        push_u64_field(&mut out, "synced_rows", self.synced_rows as u64);
+        match &self.index_stats {
+            Some(stats) => {
+                out.push_str("\"index_stats\":{");
+                push_u64_field(&mut out, "probe_steps", stats.probe_steps);
+                push_u64_field(&mut out, "expansions", stats.expansions);
+                push_u64_field(&mut out, "bloom_rejections", stats.bloom_rejections);
+                push_u64_field(&mut out, "misses", stats.misses);
+                close_object(&mut out);
+                out.push(',');
+            }
+            None => out.push_str("\"index_stats\":null,"),
+        }
+        out.push_str("\"fault_windows\":[");
+        for (i, w) in self.fault_windows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            push_str_field(&mut out, "label", &w.label);
+            push_f64_field(&mut out, "start_s", w.start.as_secs_f64());
+            push_f64_field(&mut out, "end_s", w.end.as_secs_f64());
+            push_u64_field(&mut out, "committed", w.committed as u64);
+            push_f64_field(&mut out, "tps", w.tps);
+            close_object(&mut out);
+        }
+        out.push(']');
+        out.push('}');
+        out
+    }
+}
+
+fn push_str_field(out: &mut String, key: &str, value: &str) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":\"");
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push_str("\",");
+}
+
+fn push_u64_field(out: &mut String, key: &str, value: u64) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(&value.to_string());
+    out.push(',');
+}
+
+fn push_f64_field(out: &mut String, key: &str, value: f64) {
+    let value = if value.is_finite() { value } else { 0.0 };
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(&format!("{value:.6}"));
+    out.push(',');
+}
+
+fn push_pairs_field(out: &mut String, key: &str, pairs: &[(u32, usize)]) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":[");
+    for (i, (id, n)) in pairs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("[{id},{n}]"));
+    }
+    out.push_str("],");
+}
+
+/// Replaces a trailing comma (if any) with the closing brace.
+fn close_object(out: &mut String) {
+    if out.ends_with(',') {
+        out.pop();
+    }
+    out.push('}');
+}
+
+/// Internal: driver-side observability bundle. The metric handles are
+/// resolved once per run; with a disabled registry they are detached
+/// no-ops, so the submission and matching hot paths pay one predictable
+/// branch per event.
+#[derive(Clone)]
+struct DriverObs {
+    obs: Obs,
+    submitted: hammer_obs::Counter,
+    retried: hammer_obs::Counter,
+    pending: hammer_obs::Gauge,
+}
+
+impl DriverObs {
+    fn new(obs: Obs) -> Self {
+        DriverObs {
+            submitted: obs.registry().counter("hammer_driver_submitted_total"),
+            retried: obs.registry().counter("hammer_driver_retried_total"),
+            pending: obs.registry().gauge("hammer_driver_pending"),
+            obs,
+        }
+    }
+
+    #[inline]
+    fn on(&self) -> bool {
+        self.obs.enabled()
+    }
+}
+
 /// Internal: one interface over the two status-tracking structures.
 /// `complete` returns the finished record so callers (the live-sync
 /// pipeline) can publish it without a second lookup.
@@ -468,12 +624,14 @@ impl Evaluation {
 
         let chain = deployment.client();
         let clock = deployment.clock().clone();
+        let dobs = DriverObs::new(deployment.net().obs());
 
         // ---- Preparation (Fig. 3, steps 1-3) ----
         let total = control.total() as usize;
         let mut generation_config = workload.clone();
         generation_config.total_txs = total;
 
+        let gen_start = clock.now();
         let unsigned: Vec<Transaction> = match workload.kind {
             WorkloadKind::SmallBank => {
                 let mut generator = SmallBankGenerator::new(generation_config);
@@ -488,25 +646,39 @@ impl Evaluation {
             }
             WorkloadKind::Ycsb => YcsbGenerator::new(generation_config).generate_all(),
         };
+        if dobs.on() && !unsigned.is_empty() {
+            // Generation is a batch phase; attribute its cost evenly so the
+            // span count matches the transaction count.
+            let per_tx = clock.now().saturating_sub(gen_start) / unsigned.len().max(1) as u32;
+            for _ in 0..unsigned.len() {
+                dobs.obs.spans().record(Stage::Generated, per_tx);
+            }
+        }
 
         let keypair = Keypair::from_seed(workload.seed);
+        let sign_obs = signer::SignObs::new(&dobs.obs, &clock);
         let signed_rx: Receiver<SignedTransaction> = match self.config.signing {
-            SigningStrategy::Pipelined => signer::sign_pipelined(
+            SigningStrategy::Pipelined => signer::sign_pipelined_obs(
                 unsigned,
                 keypair,
                 self.config.sig_params,
                 self.config.signer_threads,
+                sign_obs,
             ),
             SigningStrategy::Serial | SigningStrategy::Async => {
                 let signed = match self.config.signing {
-                    SigningStrategy::Serial => {
-                        signer::sign_serial(unsigned, &keypair, &self.config.sig_params)
-                    }
-                    _ => signer::sign_async(
+                    SigningStrategy::Serial => signer::sign_serial_obs(
+                        unsigned,
+                        &keypair,
+                        &self.config.sig_params,
+                        &sign_obs,
+                    ),
+                    _ => signer::sign_async_obs(
                         unsigned,
                         &keypair,
                         &self.config.sig_params,
                         self.config.signer_threads,
+                        &sign_obs,
                     ),
                 };
                 let (tx_side, rx) = bounded(signed.len().max(1));
@@ -610,6 +782,7 @@ impl Evaluation {
                 let retried = &retried;
                 let rejected_ids = &rejected_ids;
                 let machine = self.config.machine;
+                let dobs = dobs.clone();
                 worker_handles.push(scope.spawn(move || {
                     // Pace by absolute schedule: each worker may submit at
                     // most once per submit_delay of simulated time. An
@@ -636,6 +809,7 @@ impl Evaluation {
                         // never race past the tracker.
                         tracker.lock().insert(id, client_id, server_id, start);
                         submitted.fetch_add(1, Ordering::Relaxed);
+                        dobs.submitted.inc();
                         if !retry.enabled() {
                             // One-shot path, identical to the pre-fault
                             // driver (no clone, no policy consultation).
@@ -643,6 +817,10 @@ impl Evaluation {
                                 rejected.fetch_add(1, Ordering::Relaxed);
                                 rejected_ids.lock().insert(id);
                                 let _ = tracker.lock().complete(&id, start, false);
+                            } else if dobs.on() {
+                                dobs.obs
+                                    .spans()
+                                    .record(Stage::Submitted, clock.now().saturating_sub(start));
                             }
                             continue;
                         }
@@ -654,13 +832,40 @@ impl Evaluation {
                         let mut attempt = 0u32;
                         loop {
                             match chain.submit(tx.clone()) {
-                                Ok(_) => break,
+                                Ok(_) => {
+                                    if dobs.on() {
+                                        dobs.obs.spans().record(
+                                            Stage::Submitted,
+                                            clock.now().saturating_sub(start),
+                                        );
+                                    }
+                                    break;
+                                }
                                 Err(e) if e.is_retryable() => {
+                                    if dobs.on()
+                                        && attempt == 0
+                                        && e.kind() == ErrorKind::Backpressure
+                                    {
+                                        // Journal each backpressure episode
+                                        // once (at its first attempt), not
+                                        // once per retry.
+                                        dobs.obs.journal().backpressure(
+                                            clock.now(),
+                                            &format!("client-{client_id}"),
+                                            &e.to_string(),
+                                        );
+                                    }
                                     if attempt >= retry.max_retries {
                                         let _ = tracker.lock().abandon(
                                             &id,
                                             clock.now(),
                                             TxStatus::Dropped,
+                                        );
+                                        dobs.obs.journal().retry_exhausted(
+                                            clock.now(),
+                                            &format!("client-{client_id}"),
+                                            "dropped",
+                                            attempt as u64,
                                         );
                                         break;
                                     }
@@ -671,11 +876,21 @@ impl Evaluation {
                                             clock.now(),
                                             TxStatus::Expired,
                                         );
+                                        dobs.obs.journal().retry_exhausted(
+                                            clock.now(),
+                                            &format!("client-{client_id}"),
+                                            "expired",
+                                            attempt as u64,
+                                        );
                                         break;
                                     }
                                     clock.sleep(pause);
                                     attempt += 1;
                                     retried.fetch_add(1, Ordering::Relaxed);
+                                    dobs.retried.inc();
+                                    if dobs.on() {
+                                        dobs.obs.spans().record(Stage::Retried, pause);
+                                    }
                                 }
                                 Err(_) => {
                                     rejected.fetch_add(1, Ordering::Relaxed);
@@ -704,6 +919,10 @@ impl Evaluation {
             let machine = self.config.machine;
             let monitor_syncer = syncer.clone();
             let monitor_shards = Arc::clone(&shard_commits);
+            let monitor_dobs = dobs.clone();
+            // The monitor owns fault-transition journaling: it polls the
+            // network's fault plan each cycle and journals enter/exit edges.
+            let fault_observer = dobs.on().then(|| FaultObserver::new(deployment.net()));
             let monitor = scope.spawn(move || match mode {
                 TestingMode::Interactive => {
                     let rx = events_rx.expect("subscribed above");
@@ -719,6 +938,8 @@ impl Evaluation {
                         active_threads,
                         monitor_syncer,
                         monitor_shards,
+                        monitor_dobs,
+                        fault_observer,
                     );
                 }
                 _ => {
@@ -732,6 +953,8 @@ impl Evaluation {
                         mode,
                         monitor_syncer,
                         monitor_shards,
+                        monitor_dobs,
+                        fault_observer,
                     );
                 }
             });
@@ -983,6 +1206,8 @@ fn polling_monitor(
     mode: TestingMode,
     syncer: Option<StatusSyncer>,
     shard_commits: Arc<Mutex<std::collections::BTreeMap<u32, usize>>>,
+    dobs: DriverObs,
+    mut fault_observer: Option<FaultObserver>,
 ) {
     let shards = chain.architecture().shard_count();
     let mut last_seen = vec![0u64; shards as usize];
@@ -1017,8 +1242,22 @@ fn polling_monitor(
                         if ok {
                             committed_here += 1;
                         }
+                        if dobs.on() {
+                            dobs.obs
+                                .spans()
+                                .record(Stage::InBlock, end.saturating_sub(record.start));
+                            dobs.obs
+                                .spans()
+                                .record(Stage::Matched, clock.now().saturating_sub(end));
+                        }
                         if let Some(syncer) = &syncer {
                             syncer.publish(&record_to_status(&record));
+                            if dobs.on() {
+                                dobs.obs.spans().record(
+                                    Stage::Recorded,
+                                    clock.now().saturating_sub(record.start),
+                                );
+                            }
                         }
                     }
                 }
@@ -1027,6 +1266,12 @@ fn polling_monitor(
                     *shard_commits.lock().entry(shard).or_insert(0) += committed_here;
                 }
             }
+        }
+        if let Some(observer) = fault_observer.as_mut() {
+            observer.poll();
+        }
+        if dobs.on() {
+            dobs.pending.set(tracker.lock().pending() as u64);
         }
         if done.load(Ordering::Acquire) {
             let pending = tracker.lock().pending();
@@ -1061,6 +1306,8 @@ fn interactive_monitor(
     active_threads: u32,
     syncer: Option<StatusSyncer>,
     shard_commits: Arc<Mutex<std::collections::BTreeMap<u32, usize>>>,
+    dobs: DriverObs,
+    mut fault_observer: Option<FaultObserver>,
 ) {
     // The listener time-shares the client machine with the submitters.
     let share = (active_threads.max(1) as f64 / machine.vcpus.max(1) as f64).max(1.0);
@@ -1088,13 +1335,34 @@ fn interactive_monitor(
                     if event.success {
                         *shard_commits.lock().entry(event.shard).or_insert(0) += 1;
                     }
+                    if dobs.on() {
+                        dobs.obs.spans().record(
+                            Stage::InBlock,
+                            event.committed_at.saturating_sub(record.start),
+                        );
+                        dobs.obs.spans().record(
+                            Stage::Matched,
+                            clock.now().saturating_sub(event.committed_at),
+                        );
+                    }
                     if let Some(syncer) = &syncer {
                         syncer.publish(&record_to_status(&record));
+                        if dobs.on() {
+                            dobs.obs
+                                .spans()
+                                .record(Stage::Recorded, clock.now().saturating_sub(record.start));
+                        }
                     }
                 }
             }
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => return,
+        }
+        if let Some(observer) = fault_observer.as_mut() {
+            observer.poll();
+        }
+        if dobs.on() {
+            dobs.pending.set(tracker.lock().pending() as u64);
         }
         if done.load(Ordering::Acquire) {
             let pending = tracker.lock().pending();
@@ -1356,6 +1624,142 @@ mod tests {
             .run(&deployment, &workload, &control)
             .unwrap();
         assert!(report.committed > 80, "committed = {}", report.committed);
+    }
+
+    #[test]
+    fn report_to_json_is_well_formed() {
+        let deployment = Deployment::up(ChainSpec::neuchain_default(), 1000.0);
+        let control = ControlSequence::constant(40, 2, Duration::from_secs(1));
+        let report = Evaluation::new(fast_config())
+            .run(&deployment, &small_workload(80), &control)
+            .unwrap();
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        // Balanced braces/brackets (no strings in the payload contain
+        // either, so a flat count suffices).
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes, "{json}");
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        for key in [
+            "\"chain\":\"neuchain-sim\"",
+            &format!("\"submitted\":{}", report.submitted),
+            &format!("\"committed\":{}", report.committed),
+            "\"latency\":{",
+            "\"tps_series\":[",
+            "\"per_shard_committed\":[",
+            "\"index_stats\":{",
+            "\"fault_windows\":[]",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(!json.contains(",}") && !json.contains(",]"), "{json}");
+    }
+
+    #[test]
+    fn fault_window_stats_attributes_commits_exactly() {
+        use hammer_net::FaultPlan;
+        // Two scripted windows: [2s, 4s) and [6s, 8s). Commit end times are
+        // chosen so the attribution is exact: 3 in the first window, 2 in
+        // the second, 4 outside both.
+        let plan = FaultPlan::new()
+            .crash("n0", Duration::from_secs(2), Duration::from_secs(4))
+            .latency_spike(
+                Duration::from_millis(10),
+                Duration::from_secs(6),
+                Duration::from_secs(8),
+            );
+        let rec = |i: u8, end_ms: u64, status: TxStatus| TxRecord {
+            tx_id: TxId([i; 32]),
+            client_id: 0,
+            server_id: 0,
+            start: Duration::ZERO,
+            end: (status != TxStatus::Pending).then(|| Duration::from_millis(end_ms)),
+            status,
+        };
+        let records = vec![
+            // First window: boundary inclusion at the start, exclusion at
+            // the end (half-open [start, end)).
+            rec(1, 2_000, TxStatus::Committed),
+            rec(2, 3_000, TxStatus::Committed),
+            rec(3, 3_999, TxStatus::Committed),
+            rec(4, 4_000, TxStatus::Committed), // == w1 end: outside
+            // Second window.
+            rec(5, 6_500, TxStatus::Committed),
+            rec(6, 7_000, TxStatus::Committed),
+            // Outside both.
+            rec(7, 500, TxStatus::Committed),
+            rec(8, 1_000, TxStatus::Committed),
+            rec(9, 9_000, TxStatus::Committed),
+            // Non-committed records never count.
+            rec(10, 2_500, TxStatus::Failed),
+            rec(11, 0, TxStatus::Pending),
+        ];
+        let stats = fault_window_stats(
+            Some(&plan),
+            &records,
+            Duration::ZERO,
+            Duration::from_secs(9),
+        );
+        assert_eq!(stats.len(), 3, "{stats:?}");
+        assert_eq!(stats[0].label, plan.windows()[0].label);
+        assert_eq!(stats[0].committed, 3);
+        assert!((stats[0].tps - 1.5).abs() < 1e-9, "{stats:?}");
+        assert_eq!(stats[1].label, plan.windows()[1].label);
+        assert_eq!(stats[1].committed, 2);
+        assert!((stats[1].tps - 1.0).abs() < 1e-9, "{stats:?}");
+        // Nominal: 4 commits over the 9s span minus the 4s covered by
+        // windows = 5s outside-window time.
+        assert_eq!(stats[2].label, "nominal");
+        assert_eq!(stats[2].committed, 4);
+        assert!((stats[2].tps - 0.8).abs() < 1e-9, "{stats:?}");
+        // Every committed record is attributed exactly once.
+        let attributed: usize = stats.iter().map(|s| s.committed).sum();
+        assert_eq!(attributed, 9);
+    }
+
+    #[test]
+    fn obs_installed_run_emits_spans_metrics_and_journal() {
+        use hammer_obs::EventKind;
+        let deployment = Deployment::up(ChainSpec::neuchain_default(), 1000.0);
+        deployment.net().install_obs(Obs::new());
+        let control = ControlSequence::constant(50, 2, Duration::from_secs(1));
+        let report = Evaluation::new(fast_config())
+            .run(&deployment, &small_workload(100), &control)
+            .unwrap();
+        let obs = deployment.net().obs();
+        let spans = obs.spans();
+        assert_eq!(spans.histogram(Stage::Generated).count(), 100);
+        assert_eq!(spans.histogram(Stage::Signed).count(), 100);
+        assert!(spans.histogram(Stage::Submitted).count() > 0);
+        assert!(spans.histogram(Stage::InBlock).count() >= report.committed as u64);
+        assert_eq!(
+            spans.histogram(Stage::Matched).count(),
+            spans.histogram(Stage::InBlock).count()
+        );
+        assert_eq!(
+            obs.registry()
+                .counter("hammer_driver_submitted_total")
+                .value(),
+            report.submitted
+        );
+        assert!(
+            obs.journal().count_of(EventKind::BlockSeal) > 0,
+            "sims should journal block seals"
+        );
+    }
+
+    #[test]
+    fn default_run_keeps_obs_disabled() {
+        let deployment = Deployment::up(ChainSpec::neuchain_default(), 1000.0);
+        let control = ControlSequence::constant(40, 2, Duration::from_secs(1));
+        Evaluation::new(fast_config())
+            .run(&deployment, &small_workload(80), &control)
+            .unwrap();
+        let obs = deployment.net().obs();
+        assert!(!obs.enabled());
+        assert_eq!(obs.spans().histogram(Stage::Signed).count(), 0);
+        assert!(obs.journal().is_empty());
     }
 
     #[test]

@@ -19,6 +19,64 @@ use crossbeam::channel::{bounded, Receiver};
 use hammer_chain::types::{SignedTransaction, Transaction};
 use hammer_crypto::sig::SigParams;
 use hammer_crypto::Keypair;
+use hammer_net::SimClock;
+use hammer_obs::{Histogram, Obs, Stage};
+
+/// Per-transaction timing context for the signing pool: records each
+/// signing duration (in simulated time) into the lifecycle `signed`
+/// stage histogram. Cheap to clone into worker threads. A disabled
+/// context skips timestamp capture entirely, so the plain entry points
+/// pay one predictable branch per transaction.
+#[derive(Clone)]
+pub struct SignObs {
+    hist: Histogram,
+    clock: SimClock,
+    enabled: bool,
+}
+
+impl SignObs {
+    /// Context recording into `obs`'s `signed` span on `clock`.
+    pub fn new(obs: &Obs, clock: &SimClock) -> Self {
+        SignObs {
+            hist: obs.spans().histogram(Stage::Signed).clone(),
+            clock: clock.clone(),
+            enabled: obs.enabled(),
+        }
+    }
+
+    /// Context that records nothing.
+    pub fn disabled() -> Self {
+        SignObs {
+            hist: Histogram::disabled(),
+            clock: SimClock::realtime(),
+            enabled: false,
+        }
+    }
+
+    /// Whether signing durations are recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    #[inline]
+    fn sign_one(
+        &self,
+        tx: Transaction,
+        keypair: &Keypair,
+        params: &SigParams,
+        buf: &mut Vec<u8>,
+    ) -> SignedTransaction {
+        if self.enabled {
+            let start = self.clock.now();
+            let signed = tx.sign_with_buf(keypair, params, buf);
+            self.hist
+                .record_duration(self.clock.now().saturating_sub(start));
+            signed
+        } else {
+            tx.sign_with_buf(keypair, params, buf)
+        }
+    }
+}
 
 /// Signs the batch on the calling thread (the serial baseline).
 ///
@@ -29,9 +87,19 @@ pub fn sign_serial(
     keypair: &Keypair,
     params: &SigParams,
 ) -> Vec<SignedTransaction> {
+    sign_serial_obs(txs, keypair, params, &SignObs::disabled())
+}
+
+/// [`sign_serial`] with per-transaction span recording.
+pub fn sign_serial_obs(
+    txs: Vec<Transaction>,
+    keypair: &Keypair,
+    params: &SigParams,
+    obs: &SignObs,
+) -> Vec<SignedTransaction> {
     let mut buf = Vec::with_capacity(64);
     txs.into_iter()
-        .map(|tx| tx.sign_with_buf(keypair, params, &mut buf))
+        .map(|tx| obs.sign_one(tx, keypair, params, &mut buf))
         .collect()
 }
 
@@ -44,6 +112,17 @@ pub fn sign_async(
     keypair: &Keypair,
     params: &SigParams,
     threads: usize,
+) -> Vec<SignedTransaction> {
+    sign_async_obs(txs, keypair, params, threads, &SignObs::disabled())
+}
+
+/// [`sign_async`] with per-transaction span recording on every worker.
+pub fn sign_async_obs(
+    txs: Vec<Transaction>,
+    keypair: &Keypair,
+    params: &SigParams,
+    threads: usize,
+    obs: &SignObs,
 ) -> Vec<SignedTransaction> {
     let threads = threads.max(1);
     if txs.is_empty() {
@@ -65,10 +144,11 @@ pub fn sign_async(
             remaining = rest;
             let kp = *keypair;
             let p = *params;
+            let worker_obs = obs.clone();
             handles.push(scope.spawn(move || {
                 let mut buf = Vec::with_capacity(64);
                 for (slot, tx) in slots.iter_mut().zip(batch) {
-                    *slot = Some(tx.sign_with_buf(&kp, &p, &mut buf));
+                    *slot = Some(worker_obs.sign_one(tx, &kp, &p, &mut buf));
                 }
             }));
             start += take;
@@ -96,6 +176,17 @@ pub fn sign_pipelined(
     params: SigParams,
     threads: usize,
 ) -> Receiver<SignedTransaction> {
+    sign_pipelined_obs(txs, keypair, params, threads, SignObs::disabled())
+}
+
+/// [`sign_pipelined`] with per-transaction span recording on every worker.
+pub fn sign_pipelined_obs(
+    txs: Vec<Transaction>,
+    keypair: Keypair,
+    params: SigParams,
+    threads: usize,
+    obs: SignObs,
+) -> Receiver<SignedTransaction> {
     let threads = threads.max(1);
     let (tx_out, rx) = bounded::<SignedTransaction>(4096);
     let n = txs.len();
@@ -108,13 +199,14 @@ pub fn sign_pipelined(
         let take = chunk.min(txs.len());
         let batch: Vec<Transaction> = txs.drain(..take).collect();
         let out = tx_out.clone();
+        let worker_obs = obs.clone();
         std::thread::Builder::new()
             .name("hammer-signer".to_owned())
             .spawn(move || {
                 let mut buf = Vec::with_capacity(64);
                 for tx in batch {
                     if out
-                        .send(tx.sign_with_buf(&keypair, &params, &mut buf))
+                        .send(worker_obs.sign_one(tx, &keypair, &params, &mut buf))
                         .is_err()
                     {
                         return; // consumer gone
@@ -211,5 +303,37 @@ mod tests {
         let params = SigParams::fast();
         let signed = sign_async(batch(3), &kp, &params, 16);
         assert_eq!(signed.len(), 3);
+    }
+
+    #[test]
+    fn obs_variants_record_one_span_per_tx() {
+        let kp = Keypair::from_seed(1);
+        let params = SigParams::fast();
+        let obs = Obs::new();
+        let clock = SimClock::realtime();
+        let sign_obs = SignObs::new(&obs, &clock);
+        assert!(sign_obs.is_enabled());
+
+        let serial = sign_serial_obs(batch(20), &kp, &params, &sign_obs);
+        assert_eq!(serial.len(), 20);
+        assert_eq!(obs.spans().histogram(Stage::Signed).count(), 20);
+
+        let parallel = sign_async_obs(batch(30), &kp, &params, 4, &sign_obs);
+        assert_eq!(parallel.len(), 30);
+        assert_eq!(obs.spans().histogram(Stage::Signed).count(), 50);
+
+        let rx = sign_pipelined_obs(batch(25), kp, params, 3, sign_obs);
+        assert_eq!(rx.iter().count(), 25);
+        assert_eq!(obs.spans().histogram(Stage::Signed).count(), 75);
+    }
+
+    #[test]
+    fn disabled_obs_records_nothing() {
+        let kp = Keypair::from_seed(1);
+        let params = SigParams::fast();
+        let sign_obs = SignObs::disabled();
+        assert!(!sign_obs.is_enabled());
+        let signed = sign_serial_obs(batch(5), &kp, &params, &sign_obs);
+        assert_eq!(signed.len(), 5);
     }
 }

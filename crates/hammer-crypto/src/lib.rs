@@ -6,7 +6,7 @@
 //! primitives the simulated chains and the evaluation driver need, from
 //! scratch:
 //!
-//! * [`sha256`] — the FIPS 180-4 SHA-256 hash function.
+//! * [`mod@sha256`] — the FIPS 180-4 SHA-256 hash function.
 //! * [`hmac`] — HMAC-SHA-256 message authentication.
 //! * [`merkle`] — binary Merkle trees with inclusion proofs, used by the
 //!   chain simulators to commit to block transaction lists.

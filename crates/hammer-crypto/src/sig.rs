@@ -324,7 +324,7 @@ pub struct VerifyItem<'a> {
 /// [`verify`] would return for it — including for corrupted entries —
 /// so callers can mix keys freely. Speedup comes from two sources: the
 /// `g^s` side always goes through the shared generator table, and any
-/// public key appearing [`BATCH_KEY_MIN_USES`]+ times gets a throwaway
+/// public key appearing `BATCH_KEY_MIN_USES`+ times gets a throwaway
 /// fixed-base table for its `y^e` side (block-sized bursts from one
 /// signer are the common case in chain simulators).
 pub fn verify_batch(items: &[VerifyItem<'_>], params: &SigParams) -> Vec<bool> {

@@ -338,12 +338,32 @@ fn miner_loop(inner: Arc<Inner>) {
             })
             .collect();
 
+        let height = block.header.height;
+        let sealed_txs = block.len();
         inner
             .ledger
             .write()
             .append(block)
             .expect("miner builds sequential blocks");
         inner.blocks.fetch_add(1, Ordering::Relaxed);
+        // Per-block (not per-tx) observability: fetching the bundle from
+        // the network here is one mutex lock per sealed block.
+        let obs = inner.net.obs();
+        if obs.enabled() {
+            let labels = &[("chain", "ethereum-sim")];
+            let registry = obs.registry();
+            registry
+                .counter_with("hammer_chain_blocks_sealed_total", labels)
+                .inc();
+            registry
+                .counter_with("hammer_chain_txs_sealed_total", labels)
+                .add(sealed_txs as u64);
+            registry
+                .gauge_with("hammer_chain_mempool_depth", labels)
+                .set(inner.mempool.len() as u64);
+            obs.journal()
+                .block_seal(timestamp, &proposer, height, sealed_txs);
+        }
         inner.bus.publish_all(&events);
     }
 }

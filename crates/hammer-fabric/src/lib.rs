@@ -316,6 +316,13 @@ fn endorser_loop(inner: Arc<Inner>, rx: Receiver<SignedTransaction>, out: Sender
                 ok
             });
         }
+        // Per-burst (not per-tx) observability.
+        let obs = inner.net.obs();
+        if obs.enabled() {
+            obs.registry()
+                .counter_with("hammer_fabric_endorsed_total", &[("chain", "fabric-sim")])
+                .add(burst.len() as u64);
+        }
         for tx in burst {
             // Endorsement = simulated execution cost + rwset.
             inner.clock.sleep(inner.config.endorse_cost);
@@ -451,12 +458,32 @@ fn committer_loop(inner: Arc<Inner>, rx: Receiver<Vec<Endorsed>>) {
                 committed_at: timestamp,
             })
             .collect();
+        let height = block.header.height;
+        let sealed_txs = block.len();
         inner
             .ledger
             .write()
             .append(block)
             .expect("committer builds sequential blocks");
         inner.blocks.fetch_add(1, Ordering::Relaxed);
+        // Per-block observability; in-flight endorsement depth stands in
+        // for a mempool on this EOV pipeline.
+        let obs = inner.net.obs();
+        if obs.enabled() {
+            let labels = &[("chain", "fabric-sim")];
+            let registry = obs.registry();
+            registry
+                .counter_with("hammer_chain_blocks_sealed_total", labels)
+                .inc();
+            registry
+                .counter_with("hammer_chain_txs_sealed_total", labels)
+                .add(sealed_txs as u64);
+            registry
+                .gauge_with("hammer_chain_mempool_depth", labels)
+                .set(inner.pending_ids.lock().len() as u64);
+            obs.journal()
+                .block_seal(timestamp, "fabric-orderer", height, sealed_txs);
+        }
         inner.bus.publish_all(&events);
     }
 }

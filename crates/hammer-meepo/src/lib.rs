@@ -381,12 +381,36 @@ fn shard_epoch_loop(inner: Arc<Inner>, shard_id: u32) {
                 committed_at: timestamp,
             })
             .collect();
+        let height = block.header.height;
+        let sealed_txs = block.len();
         shard
             .ledger
             .write()
             .append(block)
             .expect("shard epochs build sequential blocks");
         inner.blocks.fetch_add(1, Ordering::Relaxed);
+        // Per-epoch, per-shard observability.
+        let obs = inner.net.obs();
+        if obs.enabled() {
+            let shard_label = shard_id.to_string();
+            let labels = &[("chain", "meepo-sim"), ("shard", shard_label.as_str())];
+            let registry = obs.registry();
+            registry
+                .counter_with("hammer_chain_blocks_sealed_total", labels)
+                .inc();
+            registry
+                .counter_with("hammer_chain_txs_sealed_total", labels)
+                .add(sealed_txs as u64);
+            registry
+                .gauge_with("hammer_chain_mempool_depth", labels)
+                .set(shard.mempool.len() as u64);
+            obs.journal().block_seal(
+                timestamp,
+                &MeepoSim::node_name(shard_id, 0),
+                height,
+                sealed_txs,
+            );
+        }
         inner.bus.publish_all(&events);
     }
 }

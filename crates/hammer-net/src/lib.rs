@@ -16,6 +16,14 @@
 //!   crash/restart, blackhole, partition, latency spike) that compose with
 //!   the probabilistic link model for robustness evaluations.
 //!
+//! The network also carries the run's observability bundle
+//! ([`SimNetwork::install_obs`]): per-link byte and drop counters are
+//! recorded on every send, and every component holding the network
+//! (chain simulators, driver, resource monitor) fetches the same
+//! [`hammer_obs::Obs`] from it, so instrumentation needs no extra
+//! plumbing. [`network::FaultObserver`] turns fault-plan window
+//! transitions into journal events.
+//!
 //! # Example
 //!
 //! ```
@@ -43,4 +51,4 @@ pub mod network;
 pub use clock::SimClock;
 pub use fault::{Fault, FaultPlan, FaultWindow, NodeFault};
 pub use link::LinkConfig;
-pub use network::{Endpoint, Message, NetError, SimNetwork, DEFAULT_NET_SEED};
+pub use network::{Endpoint, FaultObserver, Message, NetError, SimNetwork, DEFAULT_NET_SEED};

@@ -8,10 +8,12 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
+use hammer_obs::{Counter, Obs};
 use parking_lot::{Condvar, Mutex};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -139,6 +141,35 @@ struct Shared {
     rng: Mutex<StdRng>,
     seq: Mutex<u64>,
     stats: Mutex<NetStats>,
+    /// Fast-path flag mirroring `obs` being an enabled bundle, so the
+    /// disabled case costs one relaxed load per send.
+    obs_enabled: AtomicBool,
+    obs: Mutex<ObsState>,
+}
+
+/// Observability state carried by the network: the installed bundle
+/// plus interned per-link byte counters and drop counters, so the send
+/// path never rebuilds label strings.
+struct ObsState {
+    obs: Obs,
+    link_bytes: HashMap<(String, String), Counter>,
+    drop_lost: Counter,
+    drop_partitioned: Counter,
+    drop_faulted: Counter,
+}
+
+impl ObsState {
+    fn new(obs: Obs) -> Self {
+        let reg = obs.registry();
+        ObsState {
+            drop_lost: reg.counter_with("hammer_net_dropped_total", &[("reason", "loss")]),
+            drop_partitioned: reg
+                .counter_with("hammer_net_dropped_total", &[("reason", "partition")]),
+            drop_faulted: reg.counter_with("hammer_net_dropped_total", &[("reason", "fault")]),
+            link_bytes: HashMap::new(),
+            obs,
+        }
+    }
 }
 
 /// Counters describing everything the network has done so far.
@@ -200,6 +231,8 @@ impl SimNetwork {
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
             seq: Mutex::new(0),
             stats: Mutex::new(NetStats::default()),
+            obs_enabled: AtomicBool::new(false),
+            obs: Mutex::new(ObsState::new(Obs::disabled())),
         });
         let weak = Arc::downgrade(&shared);
         std::thread::Builder::new()
@@ -306,6 +339,46 @@ impl SimNetwork {
         matches!(self.node_fault(name), Some(NodeFault::Crashed))
     }
 
+    /// Installs an observability bundle. Every component holding this
+    /// network (chain simulators, the evaluation driver, the resource
+    /// monitor) records into the installed bundle; without one, the
+    /// default disabled bundle makes all instrumentation a no-op.
+    pub fn install_obs(&self, obs: Obs) {
+        self.shared
+            .obs_enabled
+            .store(obs.enabled(), Ordering::Relaxed);
+        *self.shared.obs.lock() = ObsState::new(obs);
+    }
+
+    /// The installed observability bundle (a disabled bundle when none
+    /// was installed). Cheap to call off the hot path; hot loops should
+    /// fetch once and reuse the handles.
+    pub fn obs(&self) -> Obs {
+        self.shared.obs.lock().obs.clone()
+    }
+
+    /// Whether an enabled observability bundle is installed.
+    pub fn obs_on(&self) -> bool {
+        self.shared.obs_enabled.load(Ordering::Relaxed)
+    }
+
+    /// Record accepted payload bytes on the directed link, interning the
+    /// labelled counter on first use.
+    fn record_link_bytes(&self, from: &str, to: &str, bytes: u64) {
+        let mut state = self.shared.obs.lock();
+        let state = &mut *state;
+        state
+            .link_bytes
+            .entry((from.to_owned(), to.to_owned()))
+            .or_insert_with(|| {
+                state
+                    .obs
+                    .registry()
+                    .counter_with("hammer_net_link_bytes_total", &[("from", from), ("to", to)])
+            })
+            .add(bytes);
+    }
+
     /// Sends `payload` from `from` to `to`, scheduling delivery after the
     /// link's sampled delay. Returns immediately.
     pub fn send(&self, from: &str, to: &str, payload: Vec<u8>) -> Result<(), NetError> {
@@ -317,12 +390,19 @@ impl SimNetwork {
             stats.sent += 1;
             stats.bytes_sent += payload.len() as u64;
         }
+        let obs_on = self.obs_on();
+        if obs_on {
+            self.record_link_bytes(from, to, payload.len() as u64);
+        }
         // Partition check.
         {
             let part = self.shared.partition.lock();
             if let (Some(a), Some(b)) = (part.get(from), part.get(to)) {
                 if a != b {
                     self.shared.stats.lock().partitioned += 1;
+                    if obs_on {
+                        self.shared.obs.lock().drop_partitioned.inc();
+                    }
                     return Ok(()); // silently dropped, like a real partition
                 }
             }
@@ -336,6 +416,9 @@ impl SimNetwork {
                     let now = self.shared.clock.now();
                     if plan.link_cut(from, to, now) {
                         self.shared.stats.lock().faulted += 1;
+                        if obs_on {
+                            self.shared.obs.lock().drop_faulted.inc();
+                        }
                         return Ok(());
                     }
                     plan.extra_latency(from, to, now)
@@ -359,6 +442,9 @@ impl SimNetwork {
         };
         if lost {
             self.shared.stats.lock().lost += 1;
+            if obs_on {
+                self.shared.obs.lock().drop_lost.inc();
+            }
             return Ok(());
         }
         let wall_delay = self.shared.clock.to_wall(sim_delay + fault_extra);
@@ -416,6 +502,64 @@ impl SimNetwork {
         let mut names: Vec<String> = self.shared.endpoints.lock().keys().cloned().collect();
         names.sort();
         names
+    }
+}
+
+/// Tracks fault-window state transitions against the installed
+/// observability bundle: each [`FaultObserver::poll`] diffs the set of
+/// active fault windows since the previous poll, journals
+/// `fault_enter`/`fault_exit` events, and updates the
+/// `hammer_net_fault_windows_active` gauge. Poll it from any periodic
+/// loop (the evaluation driver's monitor does).
+pub struct FaultObserver {
+    net: SimNetwork,
+    active: Vec<String>,
+}
+
+impl FaultObserver {
+    /// Observer over `net`'s installed fault plan and obs bundle.
+    pub fn new(net: &SimNetwork) -> Self {
+        FaultObserver {
+            net: net.clone(),
+            active: Vec::new(),
+        }
+    }
+
+    /// Diff active windows against the previous poll and record the
+    /// transitions. A no-op when no enabled bundle is installed.
+    pub fn poll(&mut self) {
+        if !self.net.obs_on() {
+            return;
+        }
+        let obs = self.net.obs();
+        let now = self.net.clock().now();
+        let labels: Vec<String> = match self.net.fault_plan() {
+            Some(plan) => plan
+                .active_labels(now)
+                .into_iter()
+                .map(str::to_owned)
+                .collect(),
+            None => Vec::new(),
+        };
+        for label in &labels {
+            if !self.active.contains(label) {
+                obs.journal().fault_enter(now, label);
+            }
+        }
+        for label in &self.active {
+            if !labels.contains(label) {
+                obs.journal().fault_exit(now, label);
+            }
+        }
+        obs.registry()
+            .gauge("hammer_net_fault_windows_active")
+            .set(labels.len() as u64);
+        self.active = labels;
+    }
+
+    /// Labels of the windows active at the last poll.
+    pub fn active(&self) -> &[String] {
+        &self.active
     }
 }
 
@@ -681,6 +825,78 @@ mod tests {
         use crate::fault::FaultPlan;
         let net = fast_net();
         net.install_faults(FaultPlan::new().crash("x", Duration::from_secs(2), Duration::ZERO));
+    }
+
+    #[test]
+    fn obs_defaults_to_disabled_and_installs() {
+        let net = fast_net();
+        assert!(!net.obs_on());
+        assert!(!net.obs().enabled());
+        let _a = net.register("a");
+        let _b = net.register("b");
+        // Sends without a bundle record nothing and cost one flag load.
+        net.send("a", "b", vec![0u8; 10]).unwrap();
+        assert!(net.obs().render_prometheus().is_empty());
+
+        net.install_obs(hammer_obs::Obs::new());
+        assert!(net.obs_on());
+        net.send("a", "b", vec![0u8; 64]).unwrap();
+        net.send("a", "b", vec![0u8; 36]).unwrap();
+        let obs = net.obs();
+        let bytes = obs
+            .registry()
+            .counter_with("hammer_net_link_bytes_total", &[("from", "a"), ("to", "b")]);
+        assert_eq!(bytes.value(), 100);
+    }
+
+    #[test]
+    fn obs_counts_fault_drops() {
+        use crate::fault::FaultPlan;
+        let net = fast_net();
+        let _a = net.register("a");
+        let _b = net.register("b");
+        net.install_obs(hammer_obs::Obs::new());
+        net.install_faults(FaultPlan::new().crash("b", Duration::ZERO, Duration::from_secs(3600)));
+        net.send("a", "b", vec![1]).unwrap();
+        let dropped = net
+            .obs()
+            .registry()
+            .counter_with("hammer_net_dropped_total", &[("reason", "fault")]);
+        assert_eq!(dropped.value(), 1);
+    }
+
+    #[test]
+    fn fault_observer_journals_transitions() {
+        use crate::fault::FaultPlan;
+        use hammer_obs::EventKind;
+        // A generous window (50–100 ms of wall time) so thread-spawn and
+        // setup overhead on a busy 1-core host cannot outrun it.
+        let clock = SimClock::with_speedup(100.0);
+        let net = SimNetwork::new(clock.clone(), LinkConfig::ideal());
+        net.install_obs(hammer_obs::Obs::new());
+        net.install_faults(FaultPlan::new().crash(
+            "n",
+            Duration::from_secs(5),
+            Duration::from_secs(10),
+        ));
+        let mut observer = FaultObserver::new(&net);
+        observer.poll(); // before the window: nothing active yet
+        clock.sleep_until(Duration::from_secs(7));
+        observer.poll(); // inside: enter
+        assert_eq!(observer.active(), ["crash:n"]);
+        clock.sleep_until(Duration::from_secs(12));
+        observer.poll(); // after: exit
+        assert!(observer.active().is_empty());
+        let journal = net.obs().journal().clone();
+        assert_eq!(journal.count_of(EventKind::FaultEnter), 1);
+        assert_eq!(journal.count_of(EventKind::FaultExit), 1);
+        assert_eq!(
+            net.obs()
+                .registry()
+                .gauge("hammer_net_fault_windows_active")
+                .value(),
+            0
+        );
     }
 
     #[test]

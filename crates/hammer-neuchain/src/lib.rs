@@ -286,12 +286,31 @@ fn epoch_loop(inner: Arc<Inner>) {
                 committed_at: timestamp,
             })
             .collect();
+        let height = block.header.height;
+        let sealed_txs = block.len();
         inner
             .ledger
             .write()
             .append(block)
             .expect("epoch server builds sequential blocks");
         inner.epochs.fetch_add(1, Ordering::Relaxed);
+        // Per-epoch observability.
+        let obs = inner.net.obs();
+        if obs.enabled() {
+            let labels = &[("chain", "neuchain-sim")];
+            let registry = obs.registry();
+            registry
+                .counter_with("hammer_chain_blocks_sealed_total", labels)
+                .inc();
+            registry
+                .counter_with("hammer_chain_txs_sealed_total", labels)
+                .add(sealed_txs as u64);
+            registry
+                .gauge_with("hammer_chain_mempool_depth", labels)
+                .set(inner.mempool.len() as u64);
+            obs.journal()
+                .block_seal(timestamp, "neuchain-epoch-server", height, sealed_txs);
+        }
         inner.bus.publish_all(&events);
     }
 }

@@ -329,7 +329,7 @@ impl Layer for Sequential {
 /// * Probe losses accumulate in `f64`, so the difference quotient is not
 ///   dominated by `f32` summation error (the loss sums ~`O(10)` while the
 ///   perturbation moves it by ~`eps`).
-/// * The relative error uses an absolute floor of [`GRAD_ATOL_FLOOR`]:
+/// * The relative error uses an absolute floor (`GRAD_ATOL_FLOOR`):
 ///   gradient entries below the finite-difference noise floor are compared
 ///   in absolute terms (PyTorch-gradcheck-style `atol`), because their
 ///   relative error is pure noise.

@@ -6,17 +6,30 @@
 //! memory for the report layer:
 //!
 //! * **network in/out** — read from the [`hammer_net::SimNetwork`] counters;
-//! * **work counters** — arbitrary named gauges registered by components
-//!   (blocks sealed, transactions committed, queue depths), mirroring how
+//! * **work counters** — named gauges registered by components (blocks
+//!   sealed, transactions committed, queue depths), mirroring how
 //!   node-exporter scrapes application metrics.
+//!
+//! Gauges live on a [`hammer_obs::Registry`]: when the network carries an
+//! installed observability bundle ([`hammer_net::SimNetwork::install_obs`])
+//! the monitor joins that registry, so its gauges appear in the Prometheus
+//! exposition and the dashboard alongside every other metric; otherwise it
+//! runs on a private registry and behaves as before.
+//!
+//! Scraping follows **simulated** time by default: the requested period is
+//! interpreted on the network's [`hammer_net::SimClock`], so samples stay
+//! aligned with fault windows and block intervals at any speedup. The old
+//! wall-clock behaviour remains available via
+//! [`ResourceMonitor::start_scraping_wall`].
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use hammer_net::SimNetwork;
-use parking_lot::{Mutex, RwLock};
+pub use hammer_obs::Gauge;
+use hammer_obs::Registry;
+use parking_lot::Mutex;
 
 /// One scrape of all metrics.
 #[derive(Clone, Debug, PartialEq)]
@@ -27,36 +40,18 @@ pub struct ResourceSample {
     pub net_bytes_sent: u64,
     /// Total messages delivered so far.
     pub net_messages_delivered: u64,
-    /// Values of every registered gauge at scrape time.
+    /// Values of every registered gauge at scrape time, sorted by name.
     pub gauges: Vec<(String, u64)>,
-}
-
-/// A shared named gauge that components bump.
-#[derive(Clone, Debug, Default)]
-pub struct Gauge(Arc<AtomicU64>);
-
-impl Gauge {
-    /// Adds to the gauge.
-    pub fn add(&self, delta: u64) {
-        self.0.fetch_add(delta, Ordering::Relaxed);
-    }
-
-    /// Sets the gauge to an absolute value.
-    pub fn set(&self, value: u64) {
-        self.0.store(value, Ordering::Relaxed);
-    }
-
-    /// Current value.
-    pub fn value(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
-    }
 }
 
 struct Inner {
     net: SimNetwork,
-    gauges: RwLock<HashMap<String, Gauge>>,
+    registry: Registry,
     samples: Mutex<Vec<ResourceSample>>,
     stop: AtomicBool,
+    /// Whether `registry` is the network's shared obs registry (in which
+    /// case scrapes also mirror the network counters into gauges).
+    shared_registry: bool,
 }
 
 /// The scraping monitor. Cheap to clone.
@@ -74,48 +69,123 @@ impl std::fmt::Debug for ResourceMonitor {
 }
 
 impl ResourceMonitor {
-    /// Creates a monitor over the given network (not yet scraping).
+    /// Creates a monitor over the given network (not yet scraping). When
+    /// the network carries an enabled observability bundle, the monitor's
+    /// gauges are registered on that bundle's registry.
     pub fn new(net: SimNetwork) -> Self {
+        let obs = net.obs();
+        let (registry, shared_registry) = if obs.enabled() {
+            (obs.registry().clone(), true)
+        } else {
+            (Registry::new(), false)
+        };
         ResourceMonitor {
             inner: Arc::new(Inner {
                 net,
-                gauges: RwLock::new(HashMap::new()),
+                registry,
                 samples: Mutex::new(Vec::new()),
                 stop: AtomicBool::new(false),
+                shared_registry,
             }),
         }
     }
 
+    /// The registry this monitor's gauges live on.
+    pub fn registry(&self) -> &Registry {
+        &self.inner.registry
+    }
+
     /// Registers (or fetches) a named gauge.
     pub fn gauge(&self, name: &str) -> Gauge {
-        let mut gauges = self.inner.gauges.write();
-        gauges.entry(name.to_owned()).or_default().clone()
+        self.inner.registry.gauge(name)
     }
 
     /// Takes one scrape immediately.
     pub fn scrape(&self) -> ResourceSample {
         let stats = self.inner.net.stats();
-        let mut gauges: Vec<(String, u64)> = self
-            .inner
-            .gauges
-            .read()
-            .iter()
-            .map(|(k, g)| (k.clone(), g.value()))
-            .collect();
-        gauges.sort();
+        if self.inner.shared_registry {
+            // Mirror the network counters into the shared registry so the
+            // exposition and dashboard carry them without a special case.
+            self.inner
+                .registry
+                .gauge("hammer_net_bytes_sent")
+                .set(stats.bytes_sent);
+            self.inner
+                .registry
+                .gauge("hammer_net_messages_delivered")
+                .set(stats.delivered);
+            self.inner
+                .registry
+                .gauge("hammer_net_messages_lost")
+                .set(stats.lost);
+            self.inner
+                .registry
+                .gauge("hammer_net_messages_faulted")
+                .set(stats.faulted);
+        }
         let sample = ResourceSample {
             at: self.inner.net.clock().now(),
             net_bytes_sent: stats.bytes_sent,
             net_messages_delivered: stats.delivered,
-            gauges,
+            gauges: self.inner.registry.gauges(),
         };
         self.inner.samples.lock().push(sample.clone());
         sample
     }
 
-    /// Starts a background scraper with the given wall-clock period;
-    /// returns a handle that stops it when dropped.
+    /// Starts a background scraper on a **simulated-time** period: scrapes
+    /// land on absolute sim-clock deadlines, so at 1000x speedup a 100 ms
+    /// period yields samples 100 ms of *simulated* time apart, aligned
+    /// with fault windows. Deadlines missed during a wall-clock stall are
+    /// skipped rather than bursting catch-up scrapes. Returns a handle
+    /// that stops the scraper when dropped.
     pub fn start_scraping(&self, period: Duration) -> ScrapeHandle {
+        assert!(!period.is_zero(), "scrape period must be positive");
+        let monitor = self.clone();
+        let clock = self.inner.net.clock().clone();
+        let handle = std::thread::Builder::new()
+            .name("resource-monitor".to_owned())
+            .spawn(move || {
+                let mut deadline = clock.now();
+                'scraper: loop {
+                    if monitor.inner.stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    monitor.scrape();
+                    // Next absolute deadline; skip any missed while stalled.
+                    deadline = (deadline + period).max(clock.now());
+                    // Wait in short wall chunks so dropping the handle stays
+                    // responsive even when the sim period is long, finishing
+                    // with the clock's precise sleep for the tail.
+                    loop {
+                        if monitor.inner.stop.load(Ordering::Relaxed) {
+                            break 'scraper;
+                        }
+                        let now = clock.now();
+                        if now >= deadline {
+                            break;
+                        }
+                        let wall = clock.to_wall(deadline - now);
+                        if wall <= Duration::from_millis(20) {
+                            clock.sleep_until(deadline);
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                }
+            })
+            .expect("spawn monitor");
+        ScrapeHandle {
+            inner: Arc::clone(&self.inner),
+            thread: Some(handle),
+        }
+    }
+
+    /// Starts a background scraper with a **wall-clock** period (the
+    /// pre-observability behaviour): samples drift relative to simulated
+    /// time as the speedup grows. Opt-in for callers that genuinely want
+    /// wall cadence, e.g. when watching a live run interactively.
+    pub fn start_scraping_wall(&self, period: Duration) -> ScrapeHandle {
         let monitor = self.clone();
         let handle = std::thread::Builder::new()
             .name("resource-monitor".to_owned())
@@ -196,7 +266,30 @@ mod tests {
     }
 
     #[test]
+    fn monitor_joins_installed_obs_registry() {
+        let net = net();
+        let _a = net.register("a");
+        let _b = net.register("b");
+        let obs = hammer_obs::Obs::new();
+        net.install_obs(obs.clone());
+        let monitor = ResourceMonitor::new(net.clone());
+        monitor.gauge("blocks_sealed").set(9);
+        net.send("a", "b", vec![0u8; 32]).unwrap();
+        let sample = monitor.scrape();
+        // The gauge landed on the shared registry ...
+        assert_eq!(obs.registry().gauge("blocks_sealed").value(), 9);
+        // ... and the scrape mirrored the network counters into it.
+        assert_eq!(obs.registry().gauge("hammer_net_bytes_sent").value(), 32);
+        assert!(sample
+            .gauges
+            .iter()
+            .any(|(n, v)| n == "hammer_net_bytes_sent" && *v == 32));
+    }
+
+    #[test]
     fn background_scraper_collects_and_stops() {
+        // 10 ms of simulated time at 1000x is 10 us of wall time, so the
+        // 80 ms run collects far more than the asserted floor.
         let monitor = ResourceMonitor::new(net());
         {
             let _handle = monitor.start_scraping(Duration::from_millis(10));
@@ -206,6 +299,42 @@ mod tests {
         assert!(n >= 3, "collected {n} samples");
         std::thread::sleep(Duration::from_millis(50));
         assert_eq!(monitor.samples().len(), n, "scraper kept running");
+    }
+
+    #[test]
+    fn sim_scraper_aligns_samples_to_sim_period() {
+        // Period of 2 s simulated = 20 ms wall at 100x, wide enough that
+        // scheduler stalls on a busy 1-core host stay well under it.
+        let clock = SimClock::with_speedup(100.0);
+        let network = SimNetwork::new(clock, LinkConfig::ideal());
+        let monitor = ResourceMonitor::new(network);
+        let period = Duration::from_secs(2);
+        {
+            let _handle = monitor.start_scraping(period);
+            std::thread::sleep(Duration::from_millis(170));
+        }
+        let samples = monitor.samples();
+        assert!(samples.len() >= 3, "collected {}", samples.len());
+        // Consecutive samples must be at least ~a period of *simulated*
+        // time apart: the deadline ladder never fires early, and missed
+        // deadlines are skipped instead of bursting.
+        for pair in samples.windows(2) {
+            let delta = pair[1].at - pair[0].at;
+            assert!(
+                delta >= period / 2,
+                "samples only {delta:?} of sim time apart"
+            );
+        }
+    }
+
+    #[test]
+    fn wall_scraper_remains_available() {
+        let monitor = ResourceMonitor::new(net());
+        {
+            let _handle = monitor.start_scraping_wall(Duration::from_millis(5));
+            std::thread::sleep(Duration::from_millis(40));
+        }
+        assert!(monitor.samples().len() >= 2);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Quickstart: deploy a simulated blockchain, run a SmallBank evaluation,
-//! and print the report — the whole Fig. 3 flow in ~30 lines.
+//! and print the report plus the observability dashboard — the whole
+//! Fig. 3 flow in ~40 lines.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -9,13 +10,20 @@ use std::time::Duration;
 
 use hammer::core::deploy::{ChainSpec, Deployment};
 use hammer::core::driver::{EvalConfig, Evaluation};
+use hammer::net::{LinkConfig, SimClock, SimNetwork};
+use hammer::obs::{render_dashboard, Obs};
 use hammer::workload::{ControlSequence, WorkloadConfig};
 
 fn main() {
     // 1. Preparation: bring up the SUT (Ansible role). The clock runs
     //    200x faster than wall time; all configured delays keep their
-    //    ratios.
-    let deployment = Deployment::up(ChainSpec::neuchain_default(), 200.0);
+    //    ratios. Installing an `Obs` bundle on the network before the
+    //    deployment turns on metrics, lifecycle spans, and the journal
+    //    for every component that touches the network.
+    let clock = SimClock::with_speedup(200.0);
+    let net = SimNetwork::new(clock.clone(), LinkConfig::cloud_100mbps());
+    net.install_obs(Obs::new());
+    let deployment = Deployment::up_on(ChainSpec::neuchain_default(), clock, net);
 
     // 2. Describe the workload: SmallBank over 1 000 accounts, submitted
     //    by 2 clients x 2 threads (the paper's sweet spot).
@@ -49,5 +57,11 @@ fn main() {
     );
     println!("sim duration : {:.1}s", report.sim_duration.as_secs_f64());
     println!("wall time    : {:.2}s", report.wall_time.as_secs_f64());
-    println!("\nper-second committed series: {:?}", report.tps_series);
+
+    // 5. The observability dashboard: TPS sparkline, per-stage latency
+    //    quantiles, resource gauges, and the journal tail. The same data
+    //    renders as Prometheus text via `obs.render_prometheus()`.
+    let obs = deployment.net().obs();
+    let series: Vec<f64> = report.tps_series.iter().map(|&n| n as f64).collect();
+    println!("\n{}", render_dashboard(&obs, &series));
 }

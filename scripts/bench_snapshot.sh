@@ -1,19 +1,27 @@
 #!/usr/bin/env sh
-# Runs the `roundtrip` Criterion group and snapshots machine-readable
-# results to BENCH_roundtrip.json (one JSON object per line, appended by
-# the harness via CRITERION_JSON). Exits non-zero if the windowed
-# fixed-base modexp does not hold its >=3x speedup over generic
-# square-and-multiply.
+# Runs the `roundtrip` and `obs_overhead` Criterion groups and snapshots
+# machine-readable results (one JSON object per line, appended by the
+# harness via CRITERION_JSON) to BENCH_roundtrip.json and
+# BENCH_obs_overhead.json. Exits non-zero if
+#   * the windowed fixed-base modexp does not hold its >=3x speedup over
+#     generic square-and-multiply, or
+#   * signing through a *disabled* observability context costs more than
+#     5% over the plain path (the near-zero-when-off guarantee).
 #
-# Usage: scripts/bench_snapshot.sh [output.json]
+# Usage: scripts/bench_snapshot.sh [roundtrip.json] [obs_overhead.json]
 set -eu
 
 cd "$(dirname "$0")/.."
 OUT="${1:-BENCH_roundtrip.json}"
-case "$OUT" in
-    /*) OUT_ABS="$OUT" ;;
-    *) OUT_ABS="$(pwd)/$OUT" ;;
-esac
+OBS_OUT="${2:-BENCH_obs_overhead.json}"
+abspath() {
+    case "$1" in
+        /*) printf '%s\n' "$1" ;;
+        *) printf '%s/%s\n' "$(pwd)" "$1" ;;
+    esac
+}
+OUT_ABS="$(abspath "$OUT")"
+OBS_OUT_ABS="$(abspath "$OBS_OUT")"
 
 : > "$OUT_ABS"
 CRITERION_JSON="$OUT_ABS" cargo bench --offline -p bench --bench roundtrip
@@ -34,3 +42,23 @@ awk -v g="$generic" -v f="$fixed" 'BEGIN {
     }
 }'
 echo "snapshot written to $OUT"
+
+: > "$OBS_OUT_ABS"
+CRITERION_JSON="$OBS_OUT_ABS" cargo bench --offline -p bench --bench obs_overhead
+
+plain=$(awk -F'"mean_ns":' '/"obs_signing\/sign_plain"/ { split($2, a, ","); print a[1] }' "$OBS_OUT_ABS")
+disabled=$(awk -F'"mean_ns":' '/"obs_signing\/sign_obs_disabled"/ { split($2, a, ","); print a[1] }' "$OBS_OUT_ABS")
+if [ -z "$plain" ] || [ -z "$disabled" ]; then
+    echo "bench_snapshot: obs signing results missing from $OBS_OUT" >&2
+    exit 1
+fi
+
+awk -v p="$plain" -v d="$disabled" 'BEGIN {
+    r = d / p
+    printf "disabled-obs signing overhead: %.3fx (plain %.0f ns/batch -> obs-disabled %.0f ns/batch)\n", r, p, d
+    if (r > 1.05) {
+        print "bench_snapshot: disabled-obs overhead above the 5% ceiling" > "/dev/stderr"
+        exit 1
+    }
+}'
+echo "snapshot written to $OBS_OUT"

@@ -14,6 +14,14 @@ cargo fmt --all --check
 echo "==> cargo clippy (-D warnings)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "==> cargo doc (-D warnings)"
+# Vendored crates.io stand-ins (vendor/*) mimic external APIs and are
+# exempt from the documentation gate; every first-party crate must
+# document cleanly.
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline --quiet \
+    --exclude rand --exclude proptest --exclude criterion \
+    --exclude crossbeam --exclude parking_lot
+
 echo "==> tier-1: cargo build --release && cargo test"
 cargo build --workspace --release --offline
 cargo test --workspace --release --offline -q
@@ -29,5 +37,29 @@ if [ -n "$violations" ]; then
     echo "$violations" >&2
     exit 1
 fi
+
+echo "==> obs-overhead smoke: disabled registry must not tax the hot path"
+# Short samples (the vendored criterion has no CLI filter, so the whole
+# group runs): the sign_obs_disabled/sign_plain ratio must stay within
+# noise. The smoke threshold is looser than bench_snapshot.sh's 5% gate
+# because 5 ms samples on a loaded 1-core host are jittery.
+SMOKE_JSON="$(mktemp)"
+CRITERION_JSON="$SMOKE_JSON" CRITERION_SAMPLE_MS=5 \
+    cargo bench --offline -p bench --bench obs_overhead >/dev/null
+plain=$(awk -F'"mean_ns":' '/"obs_signing\/sign_plain"/ { split($2, a, ","); print a[1] }' "$SMOKE_JSON")
+disabled=$(awk -F'"mean_ns":' '/"obs_signing\/sign_obs_disabled"/ { split($2, a, ","); print a[1] }' "$SMOKE_JSON")
+rm -f "$SMOKE_JSON"
+if [ -z "$plain" ] || [ -z "$disabled" ]; then
+    echo "ci_check: obs signing results missing from smoke run" >&2
+    exit 1
+fi
+awk -v p="$plain" -v d="$disabled" 'BEGIN {
+    r = d / p
+    printf "disabled-obs signing overhead (smoke): %.3fx\n", r
+    if (r > 1.25) {
+        print "ci_check: disabled-obs overhead far above noise" > "/dev/stderr"
+        exit 1
+    }
+}'
 
 echo "ci_check: all gates passed"

@@ -39,6 +39,7 @@
 //! | [`chain`] | `hammer-chain` | common chain types, SmallBank contract, generic client trait |
 //! | [`ethereum`] / [`fabric`] / [`neuchain`] / [`meepo`] | chain simulators | the four systems under test |
 //! | [`net`] | `hammer-net` | simulated network + scaled clock |
+//! | [`obs`] | `hammer-obs` | metrics registry, lifecycle spans, journal, Prometheus exposition, ASCII dashboard |
 //! | [`rpc`] | `hammer-rpc` | JSON + JSON-RPC 2.0 interface layer |
 //! | [`store`] | `hammer-store` | KV store, Performance table, monitor, reports |
 //! | [`workload`] | `hammer-workload` | SmallBank/YCSB generators, control sequences, traces |
@@ -57,6 +58,7 @@ pub use hammer_meepo as meepo;
 pub use hammer_net as net;
 pub use hammer_neuchain as neuchain;
 pub use hammer_nn as nn;
+pub use hammer_obs as obs;
 pub use hammer_predict as predict;
 pub use hammer_rpc as rpc;
 pub use hammer_store as store;
