@@ -40,39 +40,25 @@ const WINDOW_END: Duration = Duration::from_secs(5);
 
 const SCENARIOS: [&str; 3] = ["none", "blackhole", "crash-restart"];
 
-/// The endpoint whose reachability gates `submit` for each chain.
-fn ingress_node(chain: &ChainSpec) -> &'static str {
-    match chain {
-        ChainSpec::Ethereum(_) => "eth-node-0",
-        ChainSpec::Fabric(_) => "fabric-peer-0",
-        ChainSpec::Neuchain(_) => "neuchain-client-proxy",
-        ChainSpec::Meepo(_) => "meepo-s0-node-0",
-    }
-}
-
-/// The endpoints that must be down to halt both ingress and block
-/// production. Meepo crashes only shard 0, so shard 1 keeps committing
-/// through the window (the per-shard degradation the paper's sharded
-/// experiments care about).
-fn crash_nodes(chain: &ChainSpec) -> &'static [&'static str] {
-    match chain {
-        ChainSpec::Ethereum(_) => &["eth-node-0"],
-        ChainSpec::Fabric(_) => &["fabric-peer-0", "fabric-orderer"],
-        ChainSpec::Neuchain(_) => &["neuchain-client-proxy", "neuchain-epoch-server"],
-        ChainSpec::Meepo(_) => &["meepo-s0-node-0"],
-    }
-}
-
-fn plan_for(chain: &ChainSpec, scenario: &str) -> Option<FaultPlan> {
+/// The fault targets, discovered from the running chain instead of a
+/// per-chain match: the first ingress endpoint gates `submit` for the
+/// blackhole scenario; crash-restart additionally takes down the first
+/// sealer so block production halts too. Sharded chains (Meepo) report
+/// one ingress/sealer pair per shard, so crashing the first crashes only
+/// shard 0 and shard 1 keeps committing through the window (the per-shard
+/// degradation the paper's sharded experiments care about).
+fn plan_for(chain: &dyn hammer_chain::kernel::SimChain, scenario: &str) -> Option<FaultPlan> {
+    let ingress = chain.ingress_nodes();
+    let sealers = chain.sealer_nodes();
+    let ingress = ingress.first().expect("every chain reports ingress");
+    let sealer = sealers.first().expect("every chain reports a sealer");
     match scenario {
         "none" => None,
-        "blackhole" => {
-            Some(FaultPlan::new().blackhole(ingress_node(chain), WINDOW_START, WINDOW_END))
-        }
+        "blackhole" => Some(FaultPlan::new().blackhole(ingress, WINDOW_START, WINDOW_END)),
         "crash-restart" => {
-            let mut plan = FaultPlan::new();
-            for node in crash_nodes(chain) {
-                plan = plan.crash(node, WINDOW_START, WINDOW_END);
+            let mut plan = FaultPlan::new().crash(ingress, WINDOW_START, WINDOW_END);
+            if sealer != ingress {
+                plan = plan.crash(sealer, WINDOW_START, WINDOW_END);
             }
             Some(plan)
         }
@@ -80,16 +66,17 @@ fn plan_for(chain: &ChainSpec, scenario: &str) -> Option<FaultPlan> {
     }
 }
 
-/// One evaluation: deploy on a fresh seeded network, install the plan
-/// (before the sim starts, so production threads see it from t = 0),
-/// run SmallBank with the standard retry policy.
+/// One evaluation: deploy on a fresh seeded network, discover the fault
+/// targets from the chain's reported roles, install the plan (the window
+/// opens at 3 s of simulated time, long after installation), and run
+/// SmallBank with the standard retry policy.
 fn run_one(chain: &ChainSpec, scenario: &str, rate: u32, speedup: f64) -> EvalReport {
     let clock = SimClock::with_speedup(speedup);
     let net = SimNetwork::new(clock.clone(), LinkConfig::cloud_100mbps());
-    if let Some(plan) = plan_for(chain, scenario) {
+    let deployment = Deployment::up_on(chain.clone(), clock, net.clone());
+    if let Some(plan) = plan_for(&**deployment.chain(), scenario) {
         net.install_faults(plan);
     }
-    let deployment = Deployment::up_on(chain.clone(), clock, net);
     let workload = WorkloadConfig {
         accounts: 10_000,
         chain_name: chain.name().to_owned(),

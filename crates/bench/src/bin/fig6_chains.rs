@@ -32,11 +32,13 @@ fn main() {
 
     // (spec, rate tx/s, seconds, speedup): rates ~10% above each system's
     // capacity; Ethereum gets a long window to average over PoW blocks.
+    // The other three run at their registry defaults, selected by name.
+    let by_name = |name| ChainSpec::by_name(name).expect("registered backend");
     let runs = vec![
         (ethereum, 17u32, 240usize, 400.0),
-        (ChainSpec::fabric_default(), 245, 60, 100.0),
-        (ChainSpec::meepo_default(), 3_300, 30, 10.0),
-        (ChainSpec::neuchain_default(), 9_000, 20, 5.0),
+        (by_name("fabric-sim"), 245, 60, 100.0),
+        (by_name("meepo-sim"), 3_300, 30, 10.0),
+        (by_name("neuchain-sim"), 9_000, 20, 5.0),
     ];
 
     let mut rows = Vec::new();

@@ -9,7 +9,6 @@
 //! indistinguishable (the chain is the bottleneck at 18.6 TPS).
 
 use bench::{save_csv, RunSpec};
-use hammer_core::deploy::ChainSpec;
 use hammer_core::driver::TestingMode;
 use hammer_core::machine::ClientMachine;
 use hammer_store::report::{render_bars, render_table, to_csv};
@@ -33,14 +32,11 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut chart = Vec::new();
-    for (chain_name, rate, seconds) in [("ethereum", 20u32, 180usize), ("fabric", 260, 60)] {
+    for (chain_name, rate, seconds) in [("ethereum-sim", 20u32, 180usize), ("fabric-sim", 260, 60)]
+    {
         for mode in modes {
-            let chain = match chain_name {
-                "ethereum" => ChainSpec::ethereum_default(),
-                _ => ChainSpec::fabric_default(),
-            };
             eprintln!("measuring {chain_name} with {}...", mode_label(mode));
-            let mut spec = RunSpec::peak(chain, rate, seconds);
+            let mut spec = RunSpec::peak_named(chain_name, rate, seconds);
             spec.mode = mode;
             // The measuring client is the paper's 2-vCPU machine:
             // submission is comfortably within its budget, but Caliper's
@@ -58,7 +54,7 @@ fn main() {
             // 2-vCPU client) and a 500-event buffer.
             spec.listen_cost = std::time::Duration::from_millis(4);
             spec.event_buffer = 500;
-            spec.speedup = if chain_name == "ethereum" {
+            spec.speedup = if chain_name == "ethereum-sim" {
                 400.0
             } else {
                 100.0

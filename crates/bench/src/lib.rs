@@ -42,6 +42,19 @@ pub struct RunSpec {
 }
 
 impl RunSpec {
+    /// [`RunSpec::peak`] with the chain selected by registry name
+    /// (`"fabric-sim"`, `"neuchain-sim"`, ...) at its paper-default
+    /// configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the name is not a registered backend.
+    pub fn peak_named(name: &str, rate: u32, seconds: usize) -> Self {
+        let chain = ChainSpec::by_name(name)
+            .unwrap_or_else(|| panic!("unknown backend {name:?}; see BackendRegistry::builtin()"));
+        Self::peak(chain, rate, seconds)
+    }
+
     /// A sensible default shape: peak measurement with an unconstrained
     /// client (isolates the chain side).
     pub fn peak(chain: ChainSpec, rate: u32, seconds: usize) -> Self {

@@ -1,0 +1,988 @@
+//! The chain-node runtime ("node kernel") shared by every simulated chain.
+//!
+//! The paper evaluates four very different consensus designs through one
+//! generic driver, and the simulators for those designs used to duplicate
+//! all of the chain-*agnostic* node scaffolding: named-thread spawn loops,
+//! mempool ingress with fault gating, sealed-block accounting and
+//! observability, and gossip fan-out over the simulated network. The
+//! kernel owns that scaffolding once:
+//!
+//! * **Lifecycle** — [`NodeKernelBuilder::start`] spawns every node
+//!   thread (gossip sinks, the per-shard sealer loop, policy workers) and
+//!   records the join handles; [`ChainNode::shutdown_and_join`] stops
+//!   *and joins* them, so dropping a chain never leaks a live thread.
+//! * **Ingress** — [`BlockchainClient::submit`] is implemented once:
+//!   shutdown check, [`check_node_ingress`] fault gating on the policy's
+//!   ingress node, then policy-controlled admission (bounded mempool by
+//!   default, so overload surfaces as [`ErrorKind::Backpressure`]).
+//! * **Sealing** — [`Kernel::seal_block`] builds the block against the
+//!   shard ledger, fans the gossip payload out over `hammer-net`, updates
+//!   the activity counters, emits the per-block observability (sealed
+//!   counters, mempool-depth gauge, journal `block_seal`) and publishes
+//!   the commit events.
+//! * **RPC wiring** — [`ChainNode::serve_rpc`] exposes any kernel-hosted
+//!   chain over the JSON-RPC adapter.
+//!
+//! What remains per chain is a [`ConsensusPolicy`]: when to seal, how to
+//! order/validate/endorse a round, and how accounts map onto shards. A
+//! new backend is one policy implementation instead of a full crate of
+//! node plumbing — see `DESIGN.md` §5 for the walkthrough.
+//!
+//! [`ErrorKind::Backpressure`]: crate::client::ErrorKind::Backpressure
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{Receiver, RecvTimeoutError};
+use hammer_crypto::sig::SigParams;
+use hammer_net::{Endpoint, SimClock, SimNetwork};
+use parking_lot::{Mutex, RwLock};
+
+use crate::client::{check_node_ingress, Architecture, BlockchainClient, ChainError, CommitEvent};
+use crate::events::CommitBus;
+use crate::ledger::{Ledger, LedgerError};
+use crate::mempool::Mempool;
+use crate::rpc_adapter;
+use crate::state::{AccountState, VersionedState};
+use crate::types::{verify_signed_batch, Address, Block, SignedTransaction, TxId};
+
+/// Gossip payloads are capped at 1 MiB regardless of block size.
+const MAX_GOSSIP_PAYLOAD: usize = 1 << 20;
+
+/// Wall-clock granularity at which kernel sleeps re-check the shutdown
+/// flag. Small enough that joining a chain mid-interval is prompt, large
+/// enough that long simulated waits cost no measurable CPU.
+const SLEEP_CHUNK: Duration = Duration::from_millis(5);
+
+/// Spin-wait tail mirroring [`SimClock::sleep`]'s precision strategy.
+const SLEEP_SPIN: Duration = Duration::from_micros(200);
+
+/// Per-shard storage: mempool, ledger, and world state.
+///
+/// Non-sharded chains have exactly one; [`Kernel::shard`] indexes them.
+pub struct ShardCtx {
+    /// Pending-transaction pool (bounded, de-duplicating).
+    pub mempool: Mempool,
+    /// Append-only block store with hash-chain verification.
+    pub ledger: RwLock<Ledger>,
+    /// Versioned world state.
+    pub state: Mutex<VersionedState>,
+}
+
+impl ShardCtx {
+    fn new(mempool_capacity: usize) -> Self {
+        ShardCtx {
+            mempool: Mempool::new(mempool_capacity),
+            ledger: RwLock::new(Ledger::new()),
+            state: Mutex::new(VersionedState::new()),
+        }
+    }
+}
+
+/// Activity counters every kernel-hosted chain maintains.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KernelStats {
+    /// Blocks sealed (across all shards).
+    pub blocks: u64,
+    /// Transactions committed successfully.
+    pub committed: u64,
+    /// Transactions included in a block but marked invalid.
+    pub failed: u64,
+    /// Transactions dropped for bad signatures.
+    pub bad_sig: u64,
+}
+
+/// One sealed round, handed from a [`ConsensusPolicy`] to
+/// [`Kernel::seal_block`].
+pub struct Round {
+    /// Endpoint name of the proposing node (block author and gossip
+    /// source).
+    pub proposer: String,
+    /// Transactions in block order.
+    pub tx_ids: Vec<TxId>,
+    /// Per-transaction validity flags (`valid[i]` belongs to `tx_ids[i]`).
+    pub valid: Vec<bool>,
+    /// Endpoints to fan the sealed block out to.
+    pub gossip_to: Vec<String>,
+    /// Pending-depth reported to the mempool gauge; `None` uses the
+    /// shard's kernel mempool length (policies with their own pending set
+    /// — e.g. an endorsement pipeline — override it).
+    pub mempool_depth: Option<usize>,
+}
+
+/// A named background thread a policy asks the kernel to run (endorser
+/// pools, orderers, committers, ...). The kernel spawns it and joins it
+/// at shutdown; the closure must exit promptly once
+/// [`Kernel::is_shutdown`] turns true.
+pub struct Worker {
+    name: String,
+    run: Box<dyn FnOnce() + Send + 'static>,
+}
+
+impl Worker {
+    /// Creates a worker with a thread name and body.
+    pub fn new(name: impl Into<String>, run: impl FnOnce() + Send + 'static) -> Self {
+        Worker {
+            name: name.into(),
+            run: Box::new(run),
+        }
+    }
+}
+
+/// The chain-agnostic node runtime: clock, network, per-shard storage,
+/// commit bus, shutdown flag, and activity counters.
+pub struct Kernel {
+    chain_name: String,
+    architecture: Architecture,
+    clock: SimClock,
+    net: SimNetwork,
+    shards: Vec<ShardCtx>,
+    bus: CommitBus,
+    shutdown: AtomicBool,
+    gossip_base: usize,
+    gossip_per_tx: usize,
+    blocks: AtomicU64,
+    committed: AtomicU64,
+    failed: AtomicU64,
+    bad_sig: AtomicU64,
+}
+
+impl Kernel {
+    /// The simulation clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// The simulated network.
+    pub fn net(&self) -> &SimNetwork {
+        &self.net
+    }
+
+    /// The chain's display name.
+    pub fn chain_name(&self) -> &str {
+        &self.chain_name
+    }
+
+    /// Storage for one shard (panics on an out-of-range id; use
+    /// [`Kernel::shards`] for fallible access).
+    pub fn shard(&self, shard: u32) -> &ShardCtx {
+        &self.shards[shard as usize]
+    }
+
+    /// All shard contexts, indexed by shard id.
+    pub fn shards(&self) -> &[ShardCtx] {
+        &self.shards
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the activity counters.
+    pub fn stats(&self) -> KernelStats {
+        KernelStats {
+            blocks: self.blocks.load(Ordering::Relaxed),
+            committed: self.committed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            bad_sig: self.bad_sig.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Sleeps for `sim` of simulated time, waking early if shutdown is
+    /// requested. Returns `false` when the sleep was cut short (the
+    /// caller's loop should exit). Long waits are chunked so that joining
+    /// a chain parked on a multi-second block interval stays prompt;
+    /// short waits keep [`SimClock::sleep`]'s sub-millisecond precision.
+    pub fn sleep_interruptible(&self, sim: Duration) -> bool {
+        let deadline = Instant::now() + self.clock.to_wall(sim);
+        loop {
+            if self.is_shutdown() {
+                return false;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return true;
+            }
+            let remaining = deadline - now;
+            if remaining > SLEEP_CHUNK {
+                std::thread::sleep(SLEEP_CHUNK);
+            } else {
+                if remaining > SLEEP_SPIN {
+                    std::thread::sleep(remaining - SLEEP_SPIN);
+                }
+                while Instant::now() < deadline {
+                    std::thread::yield_now();
+                }
+                return !self.is_shutdown();
+            }
+        }
+    }
+
+    /// Batch-verifies `txs` in place, dropping (and counting) the ones
+    /// with bad signatures. One shared-table batch pass instead of a full
+    /// modexp per transaction.
+    pub fn verify_retain(&self, txs: &mut Vec<SignedTransaction>, params: &SigParams) {
+        self.verify_retain_with(txs, params, |_| {});
+    }
+
+    /// [`Kernel::verify_retain`] with a callback per rejected transaction
+    /// (policies that track pending ids outside the kernel mempool use it
+    /// to release them).
+    pub fn verify_retain_with(
+        &self,
+        txs: &mut Vec<SignedTransaction>,
+        params: &SigParams,
+        mut on_bad: impl FnMut(&SignedTransaction),
+    ) {
+        let verdicts = verify_signed_batch(txs, params);
+        let mut verdicts = verdicts.iter();
+        txs.retain(|tx| {
+            let ok = *verdicts.next().expect("one verdict per tx");
+            if !ok {
+                self.bad_sig.fetch_add(1, Ordering::Relaxed);
+                on_bad(tx);
+            }
+            ok
+        });
+    }
+
+    /// Fans a sealed-block payload out from `from` to every endpoint in
+    /// `to`, approximating the wire size from the transaction count.
+    pub fn gossip(&self, from: &str, to: &[String], txs: usize) {
+        let approx = (self.gossip_base + txs * self.gossip_per_tx).min(MAX_GOSSIP_PAYLOAD);
+        for target in to {
+            let _ = self.net.send(from, target, vec![0u8; approx]);
+        }
+    }
+
+    /// Seals one round into a block on `shard`: builds the block against
+    /// the shard ledger, gossips it, appends it, updates the counters,
+    /// emits the per-block observability, and publishes the commit
+    /// events. One obs-bundle fetch per sealed block, never per tx.
+    pub fn seal_block(&self, shard_id: u32, round: Round) {
+        let Round {
+            proposer,
+            tx_ids,
+            valid,
+            gossip_to,
+            mempool_depth,
+        } = round;
+        debug_assert_eq!(tx_ids.len(), valid.len());
+        let shard = &self.shards[shard_id as usize];
+        let timestamp = self.clock.now();
+        let block = {
+            let ledger = shard.ledger.read();
+            Block::new(
+                ledger.height() + 1,
+                ledger.tip_hash(),
+                timestamp,
+                &proposer,
+                shard_id,
+                tx_ids,
+                valid,
+            )
+        };
+        self.gossip(&proposer, &gossip_to, block.len());
+
+        let events: Vec<CommitEvent> = block
+            .entries()
+            .map(|(tx_id, success)| CommitEvent {
+                tx_id,
+                success,
+                block_height: block.header.height,
+                shard: shard_id,
+                committed_at: timestamp,
+            })
+            .collect();
+        let height = block.header.height;
+        let sealed_txs = block.len();
+        let ok = block.valid.iter().filter(|v| **v).count() as u64;
+        shard
+            .ledger
+            .write()
+            .append(block)
+            .expect("the kernel seals sequential blocks per shard");
+        self.blocks.fetch_add(1, Ordering::Relaxed);
+        self.committed.fetch_add(ok, Ordering::Relaxed);
+        self.failed
+            .fetch_add(sealed_txs as u64 - ok, Ordering::Relaxed);
+
+        let obs = self.net.obs();
+        if obs.enabled() {
+            let shard_label = shard_id.to_string();
+            let mut labels: Vec<(&str, &str)> = vec![("chain", self.chain_name.as_str())];
+            if matches!(self.architecture, Architecture::Sharded { .. }) {
+                labels.push(("shard", shard_label.as_str()));
+            }
+            let depth = mempool_depth.unwrap_or_else(|| shard.mempool.len());
+            let registry = obs.registry();
+            registry
+                .counter_with("hammer_chain_blocks_sealed_total", &labels)
+                .inc();
+            registry
+                .counter_with("hammer_chain_txs_sealed_total", &labels)
+                .add(sealed_txs as u64);
+            registry
+                .gauge_with("hammer_chain_mempool_depth", &labels)
+                .set(depth as u64);
+            obs.journal()
+                .block_seal(timestamp, &proposer, height, sealed_txs);
+        }
+        self.bus.publish_all(&events);
+    }
+}
+
+/// The consensus-specific core of a chain: everything the kernel cannot
+/// decide for you. Implementations are cheap value types; the four
+/// built-in sims (`hammer-ethereum`, `hammer-fabric`, `hammer-neuchain`,
+/// `hammer-meepo`) are the reference examples.
+pub trait ConsensusPolicy: Send + Sync + 'static {
+    /// The chain's display name (also the obs `chain` label).
+    fn chain_name(&self) -> &'static str;
+
+    /// Sharded or not; decides the kernel's shard-context count.
+    fn architecture(&self) -> Architecture {
+        Architecture::NonSharded
+    }
+
+    /// Endpoint submissions for `shard` land on; an outage there turns
+    /// ingress away (crash ⇒ unavailable, unreachable ⇒ timeout).
+    fn ingress_node(&self, shard: u32) -> String;
+
+    /// Endpoint whose crash suspends sealing on `shard`.
+    fn sealer_node(&self, shard: u32) -> String {
+        self.ingress_node(shard)
+    }
+
+    /// Which shard a transaction is routed to (non-sharded chains keep
+    /// the default).
+    fn route(&self, _tx: &SignedTransaction) -> u32 {
+        0
+    }
+
+    /// Which shard an account's state lives on (genesis seeding and
+    /// reads go through this).
+    fn home_shard(&self, _account: Address) -> u32 {
+        0
+    }
+
+    /// Admits a routed transaction past the ingress gate. The default
+    /// pushes into the shard's bounded kernel mempool; pipelines with
+    /// their own inbox (e.g. an endorsement channel) override it. A full
+    /// pool must map to a rejection whose kind is `Backpressure`.
+    fn admit(
+        &self,
+        kernel: &Kernel,
+        shard: u32,
+        tx: SignedTransaction,
+    ) -> Result<TxId, ChainError> {
+        let id = tx.id;
+        kernel
+            .shard(shard)
+            .mempool
+            .push(tx)
+            .map_err(ChainError::rejected)?;
+        Ok(id)
+    }
+
+    /// Transactions accepted but not yet sealed.
+    fn pending(&self, kernel: &Kernel) -> usize {
+        kernel.shards().iter().map(|s| s.mempool.len()).sum()
+    }
+
+    /// Whether the kernel should drive a sealer loop per shard (sleep
+    /// [`ConsensusPolicy::seal_wait`] → crash-gate → round). Pipelines
+    /// that seal from their own workers return `false`.
+    fn drives_sealer(&self) -> bool {
+        true
+    }
+
+    /// How long the sealer loop waits before the next round on `shard`
+    /// (fixed epochs, sampled PoW intervals, ...). Only called when
+    /// [`ConsensusPolicy::drives_sealer`] is true.
+    fn seal_wait(&self, _shard: u32) -> Duration {
+        Duration::from_millis(100)
+    }
+
+    /// Produces the next round for `shard`: drain/order/validate however
+    /// the consensus design dictates, and return `None` to seal nothing
+    /// this wait. Only called when [`ConsensusPolicy::drives_sealer`] is
+    /// true.
+    fn build_round(&self, _kernel: &Kernel, _shard: u32) -> Option<Round> {
+        None
+    }
+
+    /// Extra background threads (endorser pools, orderers, ...) the
+    /// kernel spawns at start and joins at shutdown.
+    fn workers(self: &Arc<Self>, _kernel: &Arc<Kernel>) -> Vec<Worker>
+    where
+        Self: Sized,
+    {
+        Vec::new()
+    }
+}
+
+/// Builds and starts a [`ChainNode`]: endpoints, gossip sinks, sealers,
+/// and policy workers in one call.
+pub struct NodeKernelBuilder {
+    clock: SimClock,
+    net: SimNetwork,
+    mempool_capacity: usize,
+    gossip_base: usize,
+    gossip_per_tx: usize,
+    sink_endpoints: Vec<String>,
+    plain_endpoints: Vec<String>,
+}
+
+impl NodeKernelBuilder {
+    /// Starts a builder on an existing clock and network.
+    pub fn new(clock: SimClock, net: SimNetwork) -> Self {
+        NodeKernelBuilder {
+            clock,
+            net,
+            mempool_capacity: 10_000,
+            gossip_base: 200,
+            gossip_per_tx: 110,
+            sink_endpoints: Vec::new(),
+            plain_endpoints: Vec::new(),
+        }
+    }
+
+    /// Capacity of each shard's kernel mempool.
+    pub fn mempool_capacity(mut self, capacity: usize) -> Self {
+        self.mempool_capacity = capacity;
+        self
+    }
+
+    /// Approximate gossip wire size: `base + txs * per_tx` bytes.
+    pub fn gossip_sizing(mut self, base: usize, per_tx: usize) -> Self {
+        self.gossip_base = base;
+        self.gossip_per_tx = per_tx;
+        self
+    }
+
+    /// Registers a network endpoint with a sink thread consuming its
+    /// inbound traffic (replica nodes receiving block gossip).
+    pub fn sink_endpoint(mut self, name: &str) -> Self {
+        self.sink_endpoints.push(name.to_owned());
+        self
+    }
+
+    /// Registers a network endpoint without a consumer thread (roles
+    /// that only ever send, or that exist for fault targeting).
+    pub fn endpoint(mut self, name: &str) -> Self {
+        self.plain_endpoints.push(name.to_owned());
+        self
+    }
+
+    /// Starts the node: registers endpoints, spawns sinks, sealers, and
+    /// policy workers, and returns the running chain handle.
+    pub fn start<P: ConsensusPolicy>(self, policy: P) -> Arc<ChainNode<P>> {
+        let policy = Arc::new(policy);
+        let shard_count = policy.architecture().shard_count().max(1);
+        let kernel = Arc::new(Kernel {
+            chain_name: policy.chain_name().to_owned(),
+            architecture: policy.architecture(),
+            clock: self.clock,
+            net: self.net,
+            shards: (0..shard_count)
+                .map(|_| ShardCtx::new(self.mempool_capacity))
+                .collect(),
+            bus: CommitBus::new(),
+            shutdown: AtomicBool::new(false),
+            gossip_base: self.gossip_base,
+            gossip_per_tx: self.gossip_per_tx,
+            blocks: AtomicU64::new(0),
+            committed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            bad_sig: AtomicU64::new(0),
+        });
+
+        let mut threads = Vec::new();
+        for name in &self.plain_endpoints {
+            kernel.net.register(name);
+        }
+        for name in &self.sink_endpoints {
+            let endpoint = kernel.net.register(name);
+            let sink_kernel = Arc::clone(&kernel);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(name.clone())
+                    .spawn(move || sink_loop(sink_kernel, endpoint))
+                    .expect("spawn gossip sink"),
+            );
+        }
+        for worker in policy.workers(&kernel) {
+            threads.push(
+                std::thread::Builder::new()
+                    .name(worker.name)
+                    .spawn(worker.run)
+                    .expect("spawn policy worker"),
+            );
+        }
+        if policy.drives_sealer() {
+            for shard in 0..shard_count {
+                let sealer_kernel = Arc::clone(&kernel);
+                let sealer_policy = Arc::clone(&policy);
+                threads.push(
+                    std::thread::Builder::new()
+                        .name(format!("{}-sealer-{shard}", kernel.chain_name))
+                        .spawn(move || sealer_loop(sealer_kernel, sealer_policy, shard))
+                        .expect("spawn sealer"),
+                );
+            }
+        }
+        Arc::new(ChainNode {
+            kernel,
+            policy,
+            threads: Mutex::new(threads),
+        })
+    }
+}
+
+/// Consumes inbound gossip on one endpoint until shutdown (replication
+/// traffic is accounted by the network; the payload itself is discarded).
+fn sink_loop(kernel: Arc<Kernel>, endpoint: Endpoint) {
+    loop {
+        match endpoint.recv_timeout(Duration::from_millis(100)) {
+            Ok(_replicated) => {}
+            Err(RecvTimeoutError::Timeout) => {
+                if kernel.is_shutdown() {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// The kernel-driven sealer: wait → crash-gate on the sealer node →
+/// policy round → seal.
+fn sealer_loop<P: ConsensusPolicy>(kernel: Arc<Kernel>, policy: Arc<P>, shard: u32) {
+    loop {
+        if !kernel.sleep_interruptible(policy.seal_wait(shard)) {
+            return;
+        }
+        // A crashed sealer seals nothing this round; pooled transactions
+        // wait out the fault window.
+        if kernel.net.node_crashed(&policy.sealer_node(shard)) {
+            continue;
+        }
+        if let Some(round) = policy.build_round(&kernel, shard) {
+            kernel.seal_block(shard, round);
+        }
+    }
+}
+
+/// A running chain: the kernel plus its policy and the join handles of
+/// every thread the kernel spawned.
+pub struct ChainNode<P: ConsensusPolicy> {
+    kernel: Arc<Kernel>,
+    policy: Arc<P>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl<P: ConsensusPolicy> ChainNode<P> {
+    /// The shared runtime (clock, network, shards, counters).
+    pub fn kernel(&self) -> &Arc<Kernel> {
+        &self.kernel
+    }
+
+    /// The consensus policy driving this chain.
+    pub fn policy(&self) -> &Arc<P> {
+        &self.policy
+    }
+
+    /// The simulation clock.
+    pub fn clock(&self) -> &SimClock {
+        self.kernel.clock()
+    }
+
+    /// The simulated network.
+    pub fn net(&self) -> &SimNetwork {
+        self.kernel.net()
+    }
+
+    /// Snapshot of the kernel activity counters.
+    pub fn stats(&self) -> KernelStats {
+        self.kernel.stats()
+    }
+
+    /// Serves this chain over the JSON-RPC adapter.
+    pub fn serve_rpc(self: &Arc<Self>) -> hammer_rpc::transport::RpcServer {
+        rpc_adapter::serve(Arc::clone(self) as Arc<dyn BlockchainClient>)
+    }
+
+    /// Requests shutdown and joins every kernel-spawned thread.
+    /// Idempotent; never joins the calling thread (a policy worker may
+    /// itself trigger shutdown).
+    pub fn shutdown_and_join(&self) {
+        self.kernel.shutdown.store(true, Ordering::Relaxed);
+        let me = std::thread::current().id();
+        let handles: Vec<_> = self.threads.lock().drain(..).collect();
+        for handle in handles {
+            if handle.thread().id() != me {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+impl<P: ConsensusPolicy> std::fmt::Debug for ChainNode<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChainNode")
+            .field("chain", &self.kernel.chain_name)
+            .field("stats", &self.kernel.stats())
+            .finish()
+    }
+}
+
+impl<P: ConsensusPolicy> Drop for ChainNode<P> {
+    fn drop(&mut self) {
+        self.shutdown_and_join();
+    }
+}
+
+impl<P: ConsensusPolicy> BlockchainClient for ChainNode<P> {
+    fn chain_name(&self) -> &str {
+        &self.kernel.chain_name
+    }
+
+    fn architecture(&self) -> Architecture {
+        self.kernel.architecture
+    }
+
+    fn submit(&self, tx: SignedTransaction) -> Result<TxId, ChainError> {
+        if self.kernel.is_shutdown() {
+            return Err(ChainError::shutdown());
+        }
+        let shard = self.policy.route(&tx);
+        check_node_ingress(&self.kernel.net, &self.policy.ingress_node(shard))?;
+        self.policy.admit(&self.kernel, shard, tx)
+    }
+
+    fn latest_height(&self, shard: u32) -> Result<u64, ChainError> {
+        let ctx = self
+            .kernel
+            .shards
+            .get(shard as usize)
+            .ok_or(ChainError::unknown_shard(shard))?;
+        Ok(ctx.ledger.read().height())
+    }
+
+    fn block_at(&self, shard: u32, height: u64) -> Result<Option<Block>, ChainError> {
+        let ctx = self
+            .kernel
+            .shards
+            .get(shard as usize)
+            .ok_or(ChainError::unknown_shard(shard))?;
+        Ok(ctx.ledger.read().block_at(height).cloned())
+    }
+
+    fn pending_txs(&self) -> Result<usize, ChainError> {
+        Ok(self.policy.pending(&self.kernel))
+    }
+
+    fn subscribe_commits(&self) -> Receiver<CommitEvent> {
+        self.kernel.bus.subscribe()
+    }
+
+    fn shutdown(&self) {
+        self.shutdown_and_join();
+    }
+}
+
+/// The deployment-facing surface of a simulated chain, over and above
+/// [`BlockchainClient`]: genesis seeding, state reads, fault-target
+/// discovery, and ledger audits. Implemented generically for every
+/// [`ChainNode`]; the sim crates' wrapper handles delegate to it.
+pub trait SimChain: BlockchainClient {
+    /// Seeds an account's balances directly into world state on its home
+    /// shard (genesis allocation).
+    fn seed_account(&self, account: Address, checking: u64, savings: u64);
+
+    /// Reads an account's state from its home shard.
+    fn account(&self, account: Address) -> Option<AccountState>;
+
+    /// Every ingress endpoint (one per shard, deduplicated) — the nodes
+    /// a fault plan targets to take submissions down.
+    fn ingress_nodes(&self) -> Vec<String>;
+
+    /// Every sealer endpoint (one per shard, deduplicated) — the nodes a
+    /// fault plan targets to halt block production.
+    fn sealer_nodes(&self) -> Vec<String>;
+
+    /// Verifies every shard's hash chain.
+    fn verify_ledgers(&self) -> Result<(), LedgerError>;
+}
+
+impl<P: ConsensusPolicy> SimChain for ChainNode<P> {
+    fn seed_account(&self, account: Address, checking: u64, savings: u64) {
+        let shard = self.policy.home_shard(account);
+        self.kernel
+            .shard(shard)
+            .state
+            .lock()
+            .seed_account(account, checking, savings);
+    }
+
+    fn account(&self, account: Address) -> Option<AccountState> {
+        let shard = self.policy.home_shard(account);
+        self.kernel.shard(shard).state.lock().get(account)
+    }
+
+    fn ingress_nodes(&self) -> Vec<String> {
+        let mut nodes: Vec<String> = (0..self.kernel.shards.len() as u32)
+            .map(|s| self.policy.ingress_node(s))
+            .collect();
+        nodes.dedup();
+        nodes
+    }
+
+    fn sealer_nodes(&self) -> Vec<String> {
+        let mut nodes: Vec<String> = (0..self.kernel.shards.len() as u32)
+            .map(|s| self.policy.sealer_node(s))
+            .collect();
+        nodes.dedup();
+        nodes
+    }
+
+    fn verify_ledgers(&self) -> Result<(), LedgerError> {
+        for shard in &self.kernel.shards {
+            shard.ledger.read().verify_chain()?;
+        }
+        Ok(())
+    }
+}
+
+/// Implements the boilerplate of a sim crate's public handle type — a
+/// struct with a `node: Arc<ChainNode<..>>` field — by delegating
+/// [`BlockchainClient`], [`SimChain`], `Debug`, and a joining `Drop` to
+/// the node. Keeps each sim's facade to its chain-specific extras.
+#[macro_export]
+macro_rules! impl_sim_handle {
+    ($sim:ty) => {
+        impl $crate::client::BlockchainClient for $sim {
+            fn chain_name(&self) -> &str {
+                $crate::client::BlockchainClient::chain_name(&*self.node)
+            }
+
+            fn architecture(&self) -> $crate::client::Architecture {
+                $crate::client::BlockchainClient::architecture(&*self.node)
+            }
+
+            fn submit(
+                &self,
+                tx: $crate::types::SignedTransaction,
+            ) -> Result<$crate::types::TxId, $crate::client::ChainError> {
+                $crate::client::BlockchainClient::submit(&*self.node, tx)
+            }
+
+            fn latest_height(&self, shard: u32) -> Result<u64, $crate::client::ChainError> {
+                $crate::client::BlockchainClient::latest_height(&*self.node, shard)
+            }
+
+            fn block_at(
+                &self,
+                shard: u32,
+                height: u64,
+            ) -> Result<Option<$crate::types::Block>, $crate::client::ChainError> {
+                $crate::client::BlockchainClient::block_at(&*self.node, shard, height)
+            }
+
+            fn pending_txs(&self) -> Result<usize, $crate::client::ChainError> {
+                $crate::client::BlockchainClient::pending_txs(&*self.node)
+            }
+
+            fn subscribe_commits(
+                &self,
+            ) -> crossbeam::channel::Receiver<$crate::client::CommitEvent> {
+                $crate::client::BlockchainClient::subscribe_commits(&*self.node)
+            }
+
+            fn shutdown(&self) {
+                $crate::client::BlockchainClient::shutdown(&*self.node)
+            }
+        }
+
+        impl $crate::kernel::SimChain for $sim {
+            fn seed_account(&self, account: $crate::types::Address, checking: u64, savings: u64) {
+                $crate::kernel::SimChain::seed_account(&*self.node, account, checking, savings)
+            }
+
+            fn account(
+                &self,
+                account: $crate::types::Address,
+            ) -> Option<$crate::state::AccountState> {
+                $crate::kernel::SimChain::account(&*self.node, account)
+            }
+
+            fn ingress_nodes(&self) -> Vec<String> {
+                $crate::kernel::SimChain::ingress_nodes(&*self.node)
+            }
+
+            fn sealer_nodes(&self) -> Vec<String> {
+                $crate::kernel::SimChain::sealer_nodes(&*self.node)
+            }
+
+            fn verify_ledgers(&self) -> Result<(), $crate::ledger::LedgerError> {
+                $crate::kernel::SimChain::verify_ledgers(&*self.node)
+            }
+        }
+
+        impl std::fmt::Debug for $sim {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.debug_struct(stringify!($sim))
+                    .field("chain", &self.node.kernel().chain_name())
+                    .field("stats", &self.node.stats())
+                    .finish()
+            }
+        }
+
+        impl Drop for $sim {
+            fn drop(&mut self) {
+                self.node.shutdown_and_join();
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hammer_net::LinkConfig;
+
+    /// A minimal policy: one node, fixed 20 ms epochs, FIFO order.
+    struct FifoPolicy;
+
+    impl ConsensusPolicy for FifoPolicy {
+        fn chain_name(&self) -> &'static str {
+            "fifo-sim"
+        }
+
+        fn ingress_node(&self, _shard: u32) -> String {
+            "fifo-node-0".to_owned()
+        }
+
+        fn seal_wait(&self, _shard: u32) -> Duration {
+            Duration::from_millis(20)
+        }
+
+        fn build_round(&self, kernel: &Kernel, shard: u32) -> Option<Round> {
+            let txs = kernel.shard(shard).mempool.drain(1_000);
+            if txs.is_empty() {
+                return None;
+            }
+            let mut tx_ids = Vec::with_capacity(txs.len());
+            let mut valid = Vec::with_capacity(txs.len());
+            {
+                let mut state = kernel.shard(shard).state.lock();
+                for tx in &txs {
+                    tx_ids.push(tx.id);
+                    valid.push(state.apply(&tx.tx.op).is_ok());
+                }
+            }
+            Some(Round {
+                proposer: "fifo-node-0".to_owned(),
+                tx_ids,
+                valid,
+                gossip_to: Vec::new(),
+                mempool_depth: None,
+            })
+        }
+    }
+
+    fn start_fifo() -> Arc<ChainNode<FifoPolicy>> {
+        let clock = SimClock::with_speedup(1000.0);
+        let net = SimNetwork::new(clock.clone(), LinkConfig::cloud_100mbps());
+        NodeKernelBuilder::new(clock, net)
+            .mempool_capacity(100)
+            .sink_endpoint("fifo-node-0")
+            .start(FifoPolicy)
+    }
+
+    fn signed(nonce: u64) -> SignedTransaction {
+        use crate::smallbank::Op;
+        use crate::types::Transaction;
+        Transaction {
+            client_id: 0,
+            server_id: 0,
+            nonce,
+            op: Op::DepositChecking {
+                account: Address::from_name("k"),
+                amount: 1,
+            },
+            chain_name: "fifo-sim".to_owned(),
+            contract_name: "smallbank".to_owned(),
+        }
+        .sign(&hammer_crypto::Keypair::from_seed(9), &SigParams::fast())
+    }
+
+    #[test]
+    fn kernel_seals_submitted_txs() {
+        let chain = start_fifo();
+        chain.seed_account(Address::from_name("k"), 100, 0);
+        let rx = chain.subscribe_commits();
+        let id = chain.submit(signed(1)).unwrap();
+        let event = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(event.tx_id, id);
+        assert!(event.success);
+        assert_eq!(chain.stats().committed, 1);
+        chain.verify_ledgers().unwrap();
+        chain.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_all_threads() {
+        let chain = start_fifo();
+        chain.submit(signed(1)).unwrap();
+        chain.shutdown_and_join();
+        assert!(chain.threads.lock().is_empty());
+        // Idempotent, and submissions now fail cleanly.
+        chain.shutdown_and_join();
+        assert!(chain.submit(signed(2)).unwrap_err().is_shutdown());
+    }
+
+    #[test]
+    fn interruptible_sleep_cut_short_by_shutdown() {
+        let chain = start_fifo();
+        let kernel = Arc::clone(chain.kernel());
+        // 1 hour of simulated time at 1000× is 3.6 s of wall time; the
+        // shutdown below must cut it to roughly a chunk.
+        let waiter = std::thread::spawn(move || {
+            let started = Instant::now();
+            let completed = kernel.sleep_interruptible(Duration::from_secs(3600));
+            (completed, started.elapsed())
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        chain.shutdown();
+        let (completed, elapsed) = waiter.join().unwrap();
+        assert!(!completed, "sleep should have been interrupted");
+        assert!(elapsed < Duration::from_secs(1), "took {elapsed:?}");
+    }
+
+    #[test]
+    fn mempool_full_is_backpressure() {
+        use crate::client::ErrorKind;
+        let clock = SimClock::with_speedup(1000.0);
+        let net = SimNetwork::new(clock.clone(), LinkConfig::cloud_100mbps());
+        let chain = NodeKernelBuilder::new(clock, net)
+            .mempool_capacity(2)
+            .sink_endpoint("fifo-node-0")
+            .start(FifoPolicy);
+        // Stall-free window is tiny; submit fast enough to overflow.
+        let mut saw_backpressure = false;
+        for nonce in 1..200 {
+            if let Err(err) = chain.submit(signed(nonce)) {
+                if err.kind() == ErrorKind::Backpressure {
+                    saw_backpressure = true;
+                    break;
+                }
+            }
+        }
+        assert!(saw_backpressure);
+        chain.shutdown();
+    }
+}

@@ -21,6 +21,10 @@
 //! * [`codec`] — JSON encodings of the wire types.
 //! * [`rpc_adapter`] — exposes any `BlockchainClient` over JSON-RPC and
 //!   re-imports it as a client, proving language/architecture neutrality.
+//! * [`kernel`] — the chain-node runtime: thread lifecycle with joined
+//!   shutdown, fault-gated mempool ingress, sealed-block accounting and
+//!   observability, and gossip fan-out — everything chain-agnostic, so a
+//!   simulator reduces to a [`kernel::ConsensusPolicy`].
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -28,6 +32,7 @@
 pub mod client;
 pub mod codec;
 pub mod events;
+pub mod kernel;
 pub mod ledger;
 pub mod mempool;
 pub mod rpc_adapter;
@@ -37,6 +42,10 @@ pub mod types;
 
 pub use client::{
     check_node_ingress, Architecture, BlockchainClient, ChainError, CommitEvent, ErrorKind,
+};
+pub use kernel::{
+    ChainNode, ConsensusPolicy, Kernel, KernelStats, NodeKernelBuilder, Round, ShardCtx, SimChain,
+    Worker,
 };
 pub use ledger::Ledger;
 pub use mempool::Mempool;

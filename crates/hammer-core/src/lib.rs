@@ -64,7 +64,7 @@ pub mod sync;
 
 pub use baseline::BatchQueue;
 pub use bloom::BloomFilter;
-pub use deploy::{ChainSpec, Deployment};
+pub use deploy::{BackendOptions, BackendRegistry, ChainSpec, Deployment, UnknownBackend};
 pub use driver::{
     EvalConfig, EvalConfigBuilder, EvalReport, Evaluation, FaultWindowStats, TestingMode,
 };

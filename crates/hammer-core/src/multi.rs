@@ -123,7 +123,15 @@ mod tests {
 
     #[test]
     fn two_drivers_share_one_chain() {
-        let deployment = Deployment::up(ChainSpec::neuchain_default(), 500.0);
+        // Distributed runs pick the shared SUT by registry name, the way
+        // a driver-server config file would.
+        let deployment = crate::deploy::BackendRegistry::builtin()
+            .deploy(
+                "neuchain-sim",
+                &crate::deploy::BackendOptions::default(),
+                500.0,
+            )
+            .expect("neuchain-sim is a builtin backend");
         let workload = WorkloadConfig {
             accounts: 100,
             chain_name: "neuchain-sim".to_owned(),

@@ -18,6 +18,10 @@
 //! * **Block gossip** — every sealed block is broadcast to the other
 //!   worker nodes over the simulated network.
 //!
+//! Node scaffolding (threads, ingress gating, sealing, observability)
+//! comes from the [`hammer_chain::kernel`]; this crate only contributes
+//! the PoW [`ConsensusPolicy`].
+//!
 //! ```no_run
 //! use hammer_chain::client::BlockchainClient;
 //! use hammer_ethereum::{EthereumConfig, EthereumSim};
@@ -33,22 +37,16 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam::channel::Receiver;
-use hammer_chain::client::{
-    check_node_ingress, Architecture, BlockchainClient, ChainError, CommitEvent,
+use hammer_chain::impl_sim_handle;
+use hammer_chain::kernel::{
+    ChainNode, ConsensusPolicy, Kernel, NodeKernelBuilder, Round, SimChain,
 };
-use hammer_chain::events::CommitBus;
-use hammer_chain::ledger::Ledger;
-use hammer_chain::mempool::Mempool;
-use hammer_chain::state::VersionedState;
-use hammer_chain::types::{verify_signed_batch, Block, SignedTransaction, TxId};
 use hammer_crypto::sig::SigParams;
 use hammer_net::{SimClock, SimNetwork};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -115,115 +113,122 @@ pub struct EthereumStats {
     pub bad_sig: u64,
 }
 
-struct Inner {
+fn node_name(i: usize) -> String {
+    format!("eth-node-{i}")
+}
+
+/// The PoW consensus core: exponential block intervals, a real hash burn
+/// per block, gas-capped packing, and order-execute semantics.
+pub struct EthereumPolicy {
     config: EthereumConfig,
-    clock: SimClock,
-    net: SimNetwork,
-    mempool: Mempool,
-    ledger: RwLock<Ledger>,
-    state: Mutex<VersionedState>,
-    bus: CommitBus,
-    shutdown: AtomicBool,
-    blocks: AtomicU64,
-    committed: AtomicU64,
-    failed: AtomicU64,
-    bad_sig: AtomicU64,
+    rng: Mutex<StdRng>,
+}
+
+impl ConsensusPolicy for EthereumPolicy {
+    fn chain_name(&self) -> &'static str {
+        "ethereum-sim"
+    }
+
+    fn ingress_node(&self, _shard: u32) -> String {
+        node_name(0)
+    }
+
+    fn seal_wait(&self, _shard: u32) -> Duration {
+        // Exponential inter-block time (PoW is memoryless).
+        let mean = self.config.block_interval.as_secs_f64();
+        Duration::from_secs_f64(sample_exponential(&mut *self.rng.lock(), mean))
+    }
+
+    fn build_round(&self, kernel: &Kernel, shard: u32) -> Option<Round> {
+        // Real hash work: the PoW burn.
+        let (mut digest, proposer_idx) = {
+            let mut rng = self.rng.lock();
+            let mut pow_input = [0u8; 32];
+            rng.fill(&mut pow_input);
+            (pow_input, rng.gen_range(0..self.config.nodes))
+        };
+        for _ in 0..self.config.pow_hashes_per_block {
+            digest = hammer_crypto::sha256(&digest);
+        }
+
+        // Pack the block under the gas limit.
+        let ctx = kernel.shard(shard);
+        let mut txs = ctx.mempool.drain(self.config.max_txs_per_block());
+        // Verify the whole candidate set in one batch before touching the
+        // state lock: repeated sender keys share a precomputed table, and
+        // the lock is never held across signature checks.
+        if self.config.verify_signatures {
+            kernel.verify_retain(&mut txs, &self.config.sig_params);
+        }
+        // Model aggregate EVM execution time.
+        if !txs.is_empty() {
+            kernel
+                .clock()
+                .sleep(self.config.exec_cost_per_tx * txs.len() as u32);
+        }
+
+        let mut tx_ids = Vec::with_capacity(txs.len());
+        let mut valid = Vec::with_capacity(txs.len());
+        {
+            let mut state = ctx.state.lock();
+            for tx in &txs {
+                tx_ids.push(tx.id);
+                valid.push(state.apply(&tx.tx.op).is_ok());
+            }
+        }
+
+        // PoW seals empty blocks too; gossip goes to every other worker.
+        Some(Round {
+            proposer: node_name(proposer_idx),
+            tx_ids,
+            valid,
+            gossip_to: (0..self.config.nodes)
+                .filter(|i| *i != proposer_idx)
+                .map(node_name)
+                .collect(),
+            mempool_depth: None,
+        })
+    }
 }
 
 /// Handle to a running PoW chain simulation.
 pub struct EthereumSim {
-    inner: Arc<Inner>,
+    node: Arc<ChainNode<EthereumPolicy>>,
 }
 
-impl std::fmt::Debug for EthereumSim {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("EthereumSim")
-            .field("height", &self.inner.ledger.read().height())
-            .field("pending", &self.inner.mempool.len())
-            .finish()
-    }
-}
+impl_sim_handle!(EthereumSim);
 
 impl EthereumSim {
-    /// Endpoint name of worker `i`.
-    fn node_name(i: usize) -> String {
-        format!("eth-node-{i}")
-    }
-
-    /// Starts the chain: registers node endpoints, seeds the world state
-    /// hook, and spawns the miner thread.
+    /// Starts the chain on the kernel runtime: registers node endpoints
+    /// with gossip sinks and spawns the miner (sealer) thread.
     pub fn start(config: EthereumConfig, clock: SimClock, net: SimNetwork) -> Arc<Self> {
         assert!(config.nodes >= 1, "need at least one node");
-        let inner = Arc::new(Inner {
-            mempool: Mempool::new(config.mempool_capacity),
-            config,
-            clock,
-            net,
-            ledger: RwLock::new(Ledger::new()),
-            state: Mutex::new(VersionedState::new()),
-            bus: CommitBus::new(),
-            shutdown: AtomicBool::new(false),
-            blocks: AtomicU64::new(0),
-            committed: AtomicU64::new(0),
-            failed: AtomicU64::new(0),
-            bad_sig: AtomicU64::new(0),
-        });
-
-        // Register node endpoints and spawn gossip sinks for the non-mining
-        // workers (they consume block broadcasts, modelling replication
-        // traffic).
-        for i in 0..inner.config.nodes {
-            let endpoint = inner.net.register(&Self::node_name(i));
-            let flag = Arc::downgrade(&inner);
-            std::thread::Builder::new()
-                .name(format!("eth-gossip-{i}"))
-                .spawn(move || {
-                    loop {
-                        match endpoint.recv_timeout(Duration::from_millis(100)) {
-                            Ok(_block_bytes) => { /* replicated */ }
-                            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
-                                match flag.upgrade() {
-                                    Some(inner) => {
-                                        if inner.shutdown.load(Ordering::Relaxed) {
-                                            return;
-                                        }
-                                    }
-                                    None => return,
-                                }
-                            }
-                            Err(_) => return,
-                        }
-                    }
-                })
-                .expect("spawn gossip thread");
+        let mut builder = NodeKernelBuilder::new(clock, net)
+            .mempool_capacity(config.mempool_capacity)
+            .gossip_sizing(200, 110);
+        for i in 0..config.nodes {
+            builder = builder.sink_endpoint(&node_name(i));
         }
-
-        let miner_inner = Arc::clone(&inner);
-        std::thread::Builder::new()
-            .name("eth-miner".to_owned())
-            .spawn(move || miner_loop(miner_inner))
-            .expect("spawn miner thread");
-
-        Arc::new(EthereumSim { inner })
+        let rng = Mutex::new(StdRng::seed_from_u64(config.seed));
+        let node = builder.start(EthereumPolicy { config, rng });
+        Arc::new(EthereumSim { node })
     }
 
     /// Directly seeds an account into the world state (test fixtures /
     /// SmallBank account pre-population, which real deployments do with a
     /// genesis allocation).
     pub fn seed_account(&self, account: hammer_chain::types::Address, checking: u64, savings: u64) {
-        self.inner
-            .state
-            .lock()
-            .seed_account(account, checking, savings);
+        SimChain::seed_account(&*self.node, account, checking, savings);
     }
 
     /// Snapshot of activity counters.
     pub fn stats(&self) -> EthereumStats {
+        let stats = self.node.stats();
         EthereumStats {
-            blocks: self.inner.blocks.load(Ordering::Relaxed),
-            committed: self.inner.committed.load(Ordering::Relaxed),
-            failed: self.inner.failed.load(Ordering::Relaxed),
-            bad_sig: self.inner.bad_sig.load(Ordering::Relaxed),
+            blocks: stats.blocks,
+            committed: stats.committed,
+            failed: stats.failed,
+            bad_sig: stats.bad_sig,
         }
     }
 
@@ -232,139 +237,12 @@ impl EthereumSim {
         &self,
         account: hammer_chain::types::Address,
     ) -> Option<hammer_chain::state::AccountState> {
-        self.inner.state.lock().get(account)
+        SimChain::account(&*self.node, account)
     }
-}
 
-fn miner_loop(inner: Arc<Inner>) {
-    let mut rng = StdRng::seed_from_u64(inner.config.seed);
-    while !inner.shutdown.load(Ordering::Relaxed) {
-        // Exponential inter-block time (PoW is memoryless).
-        let mean = inner.config.block_interval.as_secs_f64();
-        let interval = Duration::from_secs_f64(sample_exponential(&mut rng, mean));
-        inner.clock.sleep(interval);
-        if inner.shutdown.load(Ordering::Relaxed) {
-            return;
-        }
-        // A crashed bootstrap node mines nothing this round; pooled
-        // transactions wait out the fault window.
-        if inner.net.node_crashed(&EthereumSim::node_name(0)) {
-            continue;
-        }
-
-        // Real hash work: the PoW burn.
-        let mut pow_input = [0u8; 32];
-        rng.fill(&mut pow_input);
-        let mut digest = pow_input;
-        for _ in 0..inner.config.pow_hashes_per_block {
-            digest = hammer_crypto::sha256(&digest);
-        }
-
-        // Pack the block under the gas limit.
-        let mut txs = inner.mempool.drain(inner.config.max_txs_per_block());
-        // Verify the whole candidate set in one batch before touching the
-        // state lock: repeated sender keys share a precomputed table, and
-        // the lock is never held across signature checks.
-        if inner.config.verify_signatures {
-            let verdicts = verify_signed_batch(&txs, &inner.config.sig_params);
-            let mut verdicts = verdicts.iter();
-            txs.retain(|_| {
-                let ok = *verdicts.next().expect("one verdict per tx");
-                if !ok {
-                    inner.bad_sig.fetch_add(1, Ordering::Relaxed);
-                }
-                ok // rejected txs are not included at all
-            });
-        }
-        // Model aggregate EVM execution time.
-        if !txs.is_empty() {
-            inner
-                .clock
-                .sleep(inner.config.exec_cost_per_tx * txs.len() as u32);
-        }
-
-        let mut tx_ids = Vec::with_capacity(txs.len());
-        let mut valid = Vec::with_capacity(txs.len());
-        {
-            let mut state = inner.state.lock();
-            for tx in &txs {
-                let ok = state.apply(&tx.tx.op).is_ok();
-                tx_ids.push(tx.id);
-                valid.push(ok);
-                if ok {
-                    inner.committed.fetch_add(1, Ordering::Relaxed);
-                } else {
-                    inner.failed.fetch_add(1, Ordering::Relaxed);
-                }
-            }
-        }
-
-        let timestamp = inner.clock.now();
-        let proposer_idx = rng.gen_range(0..inner.config.nodes);
-        let proposer = EthereumSim::node_name(proposer_idx);
-        let block = {
-            let ledger = inner.ledger.read();
-            Block::new(
-                ledger.height() + 1,
-                ledger.tip_hash(),
-                timestamp,
-                &proposer,
-                0,
-                tx_ids,
-                valid,
-            )
-        };
-
-        // Gossip the sealed block to the other workers (approximate the
-        // wire size: ~110 bytes per tx plus header).
-        let approx_size = 200 + block.len() * 110;
-        let payload = vec![0u8; approx_size.min(1 << 20)];
-        for i in 0..inner.config.nodes {
-            if i != proposer_idx {
-                let _ = inner
-                    .net
-                    .send(&proposer, &EthereumSim::node_name(i), payload.clone());
-            }
-        }
-
-        let events: Vec<CommitEvent> = block
-            .entries()
-            .map(|(tx_id, success)| CommitEvent {
-                tx_id,
-                success,
-                block_height: block.header.height,
-                shard: 0,
-                committed_at: timestamp,
-            })
-            .collect();
-
-        let height = block.header.height;
-        let sealed_txs = block.len();
-        inner
-            .ledger
-            .write()
-            .append(block)
-            .expect("miner builds sequential blocks");
-        inner.blocks.fetch_add(1, Ordering::Relaxed);
-        // Per-block (not per-tx) observability: fetching the bundle from
-        // the network here is one mutex lock per sealed block.
-        let obs = inner.net.obs();
-        if obs.enabled() {
-            let labels = &[("chain", "ethereum-sim")];
-            let registry = obs.registry();
-            registry
-                .counter_with("hammer_chain_blocks_sealed_total", labels)
-                .inc();
-            registry
-                .counter_with("hammer_chain_txs_sealed_total", labels)
-                .add(sealed_txs as u64);
-            registry
-                .gauge_with("hammer_chain_mempool_depth", labels)
-                .set(inner.mempool.len() as u64);
-            obs.journal()
-                .block_seal(timestamp, &proposer, height, sealed_txs);
-        }
-        inner.bus.publish_all(&events);
+    /// Verifies the internal hash chain.
+    pub fn verify_ledger(&self) -> Result<(), hammer_chain::ledger::LedgerError> {
+        self.node.verify_ledgers()
     }
 }
 
@@ -374,63 +252,12 @@ fn sample_exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
     -mean * u.ln()
 }
 
-impl BlockchainClient for EthereumSim {
-    fn chain_name(&self) -> &str {
-        "ethereum-sim"
-    }
-
-    fn architecture(&self) -> Architecture {
-        Architecture::NonSharded
-    }
-
-    fn submit(&self, tx: SignedTransaction) -> Result<TxId, ChainError> {
-        if self.inner.shutdown.load(Ordering::Relaxed) {
-            return Err(ChainError::shutdown());
-        }
-        check_node_ingress(&self.inner.net, &EthereumSim::node_name(0))?;
-        let id = tx.id;
-        self.inner.mempool.push(tx).map_err(ChainError::rejected)?;
-        Ok(id)
-    }
-
-    fn latest_height(&self, shard: u32) -> Result<u64, ChainError> {
-        if shard != 0 {
-            return Err(ChainError::unknown_shard(shard));
-        }
-        Ok(self.inner.ledger.read().height())
-    }
-
-    fn block_at(&self, shard: u32, height: u64) -> Result<Option<Block>, ChainError> {
-        if shard != 0 {
-            return Err(ChainError::unknown_shard(shard));
-        }
-        Ok(self.inner.ledger.read().block_at(height).cloned())
-    }
-
-    fn pending_txs(&self) -> Result<usize, ChainError> {
-        Ok(self.inner.mempool.len())
-    }
-
-    fn subscribe_commits(&self) -> Receiver<CommitEvent> {
-        self.inner.bus.subscribe()
-    }
-
-    fn shutdown(&self) {
-        self.inner.shutdown.store(true, Ordering::Relaxed);
-    }
-}
-
-impl Drop for EthereumSim {
-    fn drop(&mut self) {
-        self.shutdown();
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hammer_chain::client::BlockchainClient;
     use hammer_chain::smallbank::Op;
-    use hammer_chain::types::{Address, Transaction};
+    use hammer_chain::types::{Address, SignedTransaction, Transaction};
     use hammer_crypto::Keypair;
     use hammer_net::LinkConfig;
 
@@ -613,7 +440,7 @@ mod tests {
         use hammer_chain::client::ErrorKind;
         use hammer_net::FaultPlan;
         let (chain, _clock) = fast_chain(EthereumConfig::default());
-        chain.inner.net.install_faults(FaultPlan::new().blackhole(
+        chain.node.net().install_faults(FaultPlan::new().blackhole(
             "eth-node-0",
             Duration::ZERO,
             Duration::from_secs(3600),
@@ -642,7 +469,7 @@ mod tests {
         }
         assert!(wait_for_height(&chain, 3, 8000));
         chain.shutdown();
-        chain.inner.ledger.read().verify_chain().unwrap();
+        chain.verify_ledger().unwrap();
     }
 
     #[test]

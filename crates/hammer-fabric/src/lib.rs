@@ -17,28 +17,35 @@
 //!   paper's Fig. 10.
 //! * **Block distribution** — sealed blocks are pushed from the orderer to
 //!   the peer endpoints over the simulated network.
+//!
+//! Node scaffolding (thread lifecycle, ingress gating, sealed-block
+//! accounting) comes from the [`hammer_chain::kernel`]. Unlike the
+//! epoch-driven sims, Fabric's [`ConsensusPolicy`] does not use the
+//! kernel's sealer loop: the endorse → order → validate pipeline runs as
+//! policy workers, and the committer seals through
+//! [`hammer_chain::kernel::Kernel::seal_block`] when a validated batch is
+//! ready.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
-use hammer_chain::client::{
-    check_node_ingress, Architecture, BlockchainClient, ChainError, CommitEvent,
+use hammer_chain::client::ChainError;
+use hammer_chain::impl_sim_handle;
+use hammer_chain::kernel::{
+    ChainNode, ConsensusPolicy, Kernel, NodeKernelBuilder, Round, SimChain, Worker,
 };
-use hammer_chain::events::CommitBus;
-use hammer_chain::ledger::Ledger;
 use hammer_chain::mempool::MempoolError;
-use hammer_chain::state::{RwSet, VersionedState};
-use hammer_chain::types::verify_signed_batch;
-use hammer_chain::types::{Block, SignedTransaction, TxId};
+use hammer_chain::state::RwSet;
+use hammer_chain::types::{SignedTransaction, TxId};
 use hammer_crypto::sig::SigParams;
 use hammer_net::{SimClock, SimNetwork};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::Mutex;
 
 /// Configuration of the simulated Fabric network.
 #[derive(Clone, Debug)]
@@ -106,40 +113,6 @@ pub struct FabricStats {
     pub rejected_overload: u64,
 }
 
-struct Inner {
-    config: FabricConfig,
-    clock: SimClock,
-    net: SimNetwork,
-    ledger: RwLock<Ledger>,
-    state: Mutex<VersionedState>,
-    bus: CommitBus,
-    shutdown: AtomicBool,
-    pending_ids: Mutex<HashSet<TxId>>,
-    endorse_tx: Sender<SignedTransaction>,
-    /// Rejected requests whose handling cost the endorser pool still owes.
-    reject_debt: AtomicU64,
-    blocks: AtomicU64,
-    committed: AtomicU64,
-    mvcc_conflicts: AtomicU64,
-    endorse_failures: AtomicU64,
-    bad_sig: AtomicU64,
-    rejected_overload: AtomicU64,
-}
-
-/// Handle to a running Fabric simulation.
-pub struct FabricSim {
-    inner: Arc<Inner>,
-}
-
-impl std::fmt::Debug for FabricSim {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("FabricSim")
-            .field("height", &self.inner.ledger.read().height())
-            .field("stats", &self.stats())
-            .finish()
-    }
-}
-
 /// An endorsed transaction waiting for ordering.
 struct Endorsed {
     tx_id: TxId,
@@ -147,142 +120,129 @@ struct Endorsed {
     rwset: Option<RwSet>,
 }
 
-impl FabricSim {
-    fn peer_name(i: usize) -> String {
-        format!("fabric-peer-{i}")
+fn peer_name(i: usize) -> String {
+    format!("fabric-peer-{i}")
+}
+
+/// The execute-order-validate consensus core: an endorsement inbox with
+/// overload rejection, and the endorser/orderer/committer pipeline run as
+/// kernel workers.
+pub struct FabricPolicy {
+    config: FabricConfig,
+    endorse_tx: Sender<SignedTransaction>,
+    endorse_rx: Receiver<SignedTransaction>,
+    pending_ids: Mutex<HashSet<TxId>>,
+    /// Rejected requests whose handling cost the endorser pool still owes.
+    reject_debt: AtomicU64,
+    mvcc_conflicts: AtomicU64,
+    endorse_failures: AtomicU64,
+    rejected_overload: AtomicU64,
+}
+
+impl ConsensusPolicy for FabricPolicy {
+    fn chain_name(&self) -> &'static str {
+        "fabric-sim"
     }
 
-    /// Starts the network: endorser pool, orderer, committer, peers.
-    pub fn start(config: FabricConfig, clock: SimClock, net: SimNetwork) -> Arc<Self> {
-        assert!(config.peers >= 1 && config.endorser_threads >= 1);
-        let (endorse_tx, endorse_rx) = bounded::<SignedTransaction>(config.inbox_capacity);
-        let (ordered_tx, ordered_rx) = bounded::<Endorsed>(config.inbox_capacity.max(1024));
-        let (block_tx, block_rx) = bounded::<Vec<Endorsed>>(64);
+    /// Submissions land on the first endorsing peer; an outage there
+    /// surfaces as a transient error rather than silent acceptance.
+    fn ingress_node(&self, _shard: u32) -> String {
+        peer_name(0)
+    }
 
-        let inner = Arc::new(Inner {
-            config,
-            clock,
-            net,
-            ledger: RwLock::new(Ledger::new()),
-            state: Mutex::new(VersionedState::new()),
-            bus: CommitBus::new(),
-            shutdown: AtomicBool::new(false),
-            pending_ids: Mutex::new(HashSet::new()),
-            endorse_tx,
-            reject_debt: AtomicU64::new(0),
-            blocks: AtomicU64::new(0),
-            committed: AtomicU64::new(0),
-            mvcc_conflicts: AtomicU64::new(0),
-            endorse_failures: AtomicU64::new(0),
-            bad_sig: AtomicU64::new(0),
-            rejected_overload: AtomicU64::new(0),
-        });
+    /// The orderer cuts the blocks; its crash halts sealing.
+    fn sealer_node(&self, _shard: u32) -> String {
+        "fabric-orderer".to_owned()
+    }
 
-        // Peer endpoints: consume block distribution traffic.
-        inner.net.register("fabric-orderer");
-        for i in 0..inner.config.peers {
-            let endpoint = inner.net.register(&Self::peer_name(i));
-            let weak = Arc::downgrade(&inner);
-            std::thread::Builder::new()
-                .name(format!("fabric-peer-{i}"))
-                .spawn(move || loop {
-                    match endpoint.recv_timeout(Duration::from_millis(100)) {
-                        Ok(_) => {}
-                        Err(RecvTimeoutError::Timeout) => match weak.upgrade() {
-                            Some(inner) => {
-                                if inner.shutdown.load(Ordering::Relaxed) {
-                                    return;
-                                }
-                            }
-                            None => return,
-                        },
-                        Err(_) => return,
-                    }
-                })
-                .expect("spawn peer thread");
+    /// The EOV pipeline has its own inbox, not the kernel mempool.
+    fn admit(
+        &self,
+        _kernel: &Kernel,
+        _shard: u32,
+        tx: SignedTransaction,
+    ) -> Result<TxId, ChainError> {
+        let id = tx.id;
+        {
+            let mut pending = self.pending_ids.lock();
+            if !pending.insert(id) {
+                return Err(ChainError::rejected(MempoolError::Duplicate));
+            }
         }
+        match self.endorse_tx.try_send(tx) {
+            Ok(()) => Ok(id),
+            Err(_) => {
+                self.pending_ids.lock().remove(&id);
+                self.rejected_overload.fetch_add(1, Ordering::Relaxed);
+                self.reject_debt.fetch_add(1, Ordering::Relaxed);
+                // Backpressure, not a verdict on the transaction: the
+                // submitter may back off and retry.
+                Err(ChainError::rejected(MempoolError::Full))
+            }
+        }
+    }
 
-        // Endorser pool.
-        for t in 0..inner.config.endorser_threads {
-            let inner2 = Arc::clone(&inner);
-            let rx = endorse_rx.clone();
+    fn pending(&self, _kernel: &Kernel) -> usize {
+        self.pending_ids.lock().len()
+    }
+
+    /// Blocks are cut by the committer worker, not a kernel sealer loop.
+    fn drives_sealer(&self) -> bool {
+        false
+    }
+
+    fn workers(self: &Arc<Self>, kernel: &Arc<Kernel>) -> Vec<Worker> {
+        let (ordered_tx, ordered_rx) = bounded::<Endorsed>(self.config.inbox_capacity.max(1024));
+        let (block_tx, block_rx) = bounded::<Vec<Endorsed>>(64);
+        let mut workers = Vec::new();
+        for t in 0..self.config.endorser_threads {
+            let policy = Arc::clone(self);
+            let kernel = Arc::clone(kernel);
+            let rx = self.endorse_rx.clone();
             let out = ordered_tx.clone();
-            std::thread::Builder::new()
-                .name(format!("fabric-endorser-{t}"))
-                .spawn(move || endorser_loop(inner2, rx, out))
-                .expect("spawn endorser");
+            workers.push(Worker::new(format!("fabric-endorser-{t}"), move || {
+                endorser_loop(policy, kernel, rx, out)
+            }));
         }
         drop(ordered_tx);
-
-        // Orderer.
         {
-            let inner2 = Arc::clone(&inner);
-            std::thread::Builder::new()
-                .name("fabric-orderer".to_owned())
-                .spawn(move || orderer_loop(inner2, ordered_rx, block_tx))
-                .expect("spawn orderer");
+            let policy = Arc::clone(self);
+            let kernel = Arc::clone(kernel);
+            workers.push(Worker::new("fabric-orderer", move || {
+                orderer_loop(policy, kernel, ordered_rx, block_tx)
+            }));
         }
-
-        // Committer.
         {
-            let inner2 = Arc::clone(&inner);
-            std::thread::Builder::new()
-                .name("fabric-committer".to_owned())
-                .spawn(move || committer_loop(inner2, block_rx))
-                .expect("spawn committer");
+            let policy = Arc::clone(self);
+            let kernel = Arc::clone(kernel);
+            workers.push(Worker::new("fabric-committer", move || {
+                committer_loop(policy, kernel, block_rx)
+            }));
         }
-
-        Arc::new(FabricSim { inner })
-    }
-
-    /// Seeds an account directly into world state (genesis allocation).
-    pub fn seed_account(&self, account: hammer_chain::types::Address, checking: u64, savings: u64) {
-        self.inner
-            .state
-            .lock()
-            .seed_account(account, checking, savings);
-    }
-
-    /// Reads an account's state.
-    pub fn account(
-        &self,
-        account: hammer_chain::types::Address,
-    ) -> Option<hammer_chain::state::AccountState> {
-        self.inner.state.lock().get(account)
-    }
-
-    /// Snapshot of the activity counters.
-    pub fn stats(&self) -> FabricStats {
-        FabricStats {
-            blocks: self.inner.blocks.load(Ordering::Relaxed),
-            committed: self.inner.committed.load(Ordering::Relaxed),
-            mvcc_conflicts: self.inner.mvcc_conflicts.load(Ordering::Relaxed),
-            endorse_failures: self.inner.endorse_failures.load(Ordering::Relaxed),
-            bad_sig: self.inner.bad_sig.load(Ordering::Relaxed),
-            rejected_overload: self.inner.rejected_overload.load(Ordering::Relaxed),
-        }
-    }
-
-    /// Verifies the internal hash chain (used by correctness audits).
-    pub fn verify_ledger(&self) -> Result<(), hammer_chain::ledger::LedgerError> {
-        self.inner.ledger.read().verify_chain()
+        workers
     }
 }
 
-fn endorser_loop(inner: Arc<Inner>, rx: Receiver<SignedTransaction>, out: Sender<Endorsed>) {
+fn endorser_loop(
+    policy: Arc<FabricPolicy>,
+    kernel: Arc<Kernel>,
+    rx: Receiver<SignedTransaction>,
+    out: Sender<Endorsed>,
+) {
+    let config = &policy.config;
     loop {
         // Pay for any requests the node turned away since the last pass:
         // rejection is not free for the endorsement pool.
-        let owed = inner.reject_debt.swap(0, Ordering::Relaxed);
-        if owed > 0 {
-            inner
-                .clock
-                .sleep(inner.config.reject_handling_cost * owed.min(10_000) as u32);
+        let owed = policy.reject_debt.swap(0, Ordering::Relaxed);
+        if owed > 0
+            && !kernel.sleep_interruptible(config.reject_handling_cost * owed.min(10_000) as u32)
+        {
+            return;
         }
         let first = match rx.recv_timeout(Duration::from_millis(100)) {
             Ok(tx) => tx,
             Err(RecvTimeoutError::Timeout) => {
-                if inner.shutdown.load(Ordering::Relaxed) {
+                if kernel.is_shutdown() {
                     return;
                 }
                 continue;
@@ -296,7 +256,7 @@ fn endorser_loop(inner: Arc<Inner>, rx: Receiver<SignedTransaction>, out: Sender
         // every endorser thread in parallel — one thread swallowing a
         // whole block serialises its endorsement cost, which inflates
         // read-set staleness and MVCC conflicts downstream.
-        let burst_cap = (inner.config.max_batch / inner.config.endorser_threads).max(8);
+        let burst_cap = (config.max_batch / config.endorser_threads).max(8);
         let mut burst = vec![first];
         while burst.len() < burst_cap {
             match rx.try_recv() {
@@ -304,31 +264,29 @@ fn endorser_loop(inner: Arc<Inner>, rx: Receiver<SignedTransaction>, out: Sender
                 Err(_) => break,
             }
         }
-        if inner.config.verify_signatures {
-            let verdicts = verify_signed_batch(&burst, &inner.config.sig_params);
-            let mut verdicts = verdicts.iter();
-            burst.retain(|tx| {
-                let ok = *verdicts.next().expect("one verdict per tx");
-                if !ok {
-                    inner.bad_sig.fetch_add(1, Ordering::Relaxed);
-                    inner.pending_ids.lock().remove(&tx.id);
-                }
-                ok
+        if config.verify_signatures {
+            kernel.verify_retain_with(&mut burst, &config.sig_params, |tx| {
+                policy.pending_ids.lock().remove(&tx.id);
             });
         }
         // Per-burst (not per-tx) observability.
-        let obs = inner.net.obs();
+        let obs = kernel.net().obs();
         if obs.enabled() {
             obs.registry()
                 .counter_with("hammer_fabric_endorsed_total", &[("chain", "fabric-sim")])
                 .add(burst.len() as u64);
         }
         for tx in burst {
-            // Endorsement = simulated execution cost + rwset.
-            inner.clock.sleep(inner.config.endorse_cost);
-            let rwset = inner.state.lock().simulate(&tx.tx.op).ok();
+            // Endorsement = simulated execution cost + rwset. The sleep is
+            // interruptible so a shutdown mid-burst (or under an hour-long
+            // conformance stall) joins promptly instead of serving out the
+            // remaining endorsements.
+            if !kernel.sleep_interruptible(config.endorse_cost) {
+                return;
+            }
+            let rwset = kernel.shard(0).state.lock().simulate(&tx.tx.op).ok();
             if rwset.is_none() {
-                inner.endorse_failures.fetch_add(1, Ordering::Relaxed);
+                policy.endorse_failures.fetch_add(1, Ordering::Relaxed);
             }
             if out
                 .send(Endorsed {
@@ -343,11 +301,18 @@ fn endorser_loop(inner: Arc<Inner>, rx: Receiver<SignedTransaction>, out: Sender
     }
 }
 
-fn orderer_loop(inner: Arc<Inner>, rx: Receiver<Endorsed>, out: Sender<Vec<Endorsed>>) {
+fn orderer_loop(
+    policy: Arc<FabricPolicy>,
+    kernel: Arc<Kernel>,
+    rx: Receiver<Endorsed>,
+    out: Sender<Vec<Endorsed>>,
+) {
+    let config = &policy.config;
+    let peers: Vec<String> = (0..config.peers).map(peer_name).collect();
     let mut batch: Vec<Endorsed> = Vec::new();
     let mut batch_deadline: Option<std::time::Instant> = None;
     loop {
-        if inner.shutdown.load(Ordering::Relaxed) {
+        if kernel.is_shutdown() {
             return;
         }
         let wall_timeout = match batch_deadline {
@@ -360,7 +325,7 @@ fn orderer_loop(inner: Arc<Inner>, rx: Receiver<Endorsed>, out: Sender<Vec<Endor
             Ok(endorsed) => {
                 if batch.is_empty() {
                     batch_deadline = Some(
-                        std::time::Instant::now() + inner.clock.to_wall(inner.config.batch_timeout),
+                        std::time::Instant::now() + kernel.clock().to_wall(config.batch_timeout),
                     );
                 }
                 batch.push(endorsed);
@@ -373,21 +338,16 @@ fn orderer_loop(inner: Arc<Inner>, rx: Receiver<Endorsed>, out: Sender<Vec<Endor
             .unwrap_or(false);
         // A crashed orderer cuts no blocks; endorsed transactions pile up
         // in the batch until the restart.
-        if inner.net.node_crashed("fabric-orderer") {
+        if kernel.net().node_crashed("fabric-orderer") {
             continue;
         }
-        if batch.len() >= inner.config.max_batch || (timed_out && !batch.is_empty()) {
+        if batch.len() >= config.max_batch || (timed_out && !batch.is_empty()) {
             let full = std::mem::take(&mut batch);
             batch_deadline = None;
-            // Block distribution traffic: orderer -> every peer.
-            let approx_size = 200 + full.len() * 150;
-            for i in 0..inner.config.peers {
-                let _ = inner.net.send(
-                    "fabric-orderer",
-                    &FabricSim::peer_name(i),
-                    vec![0u8; approx_size],
-                );
-            }
+            // Block distribution traffic: orderer -> every peer, sent at
+            // ordering time (before validation), as Fabric delivers raw
+            // blocks to peers for local validation.
+            kernel.gossip("fabric-orderer", &peers, full.len());
             if out.send(full).is_err() {
                 return;
             }
@@ -395,12 +355,13 @@ fn orderer_loop(inner: Arc<Inner>, rx: Receiver<Endorsed>, out: Sender<Vec<Endor
     }
 }
 
-fn committer_loop(inner: Arc<Inner>, rx: Receiver<Vec<Endorsed>>) {
+fn committer_loop(policy: Arc<FabricPolicy>, kernel: Arc<Kernel>, rx: Receiver<Vec<Endorsed>>) {
+    let config = &policy.config;
     loop {
         let batch = match rx.recv_timeout(Duration::from_millis(100)) {
             Ok(b) => b,
             Err(RecvTimeoutError::Timeout) => {
-                if inner.shutdown.load(Ordering::Relaxed) {
+                if kernel.is_shutdown() {
                     return;
                 }
                 continue;
@@ -408,13 +369,13 @@ fn committer_loop(inner: Arc<Inner>, rx: Receiver<Vec<Endorsed>>) {
             Err(_) => return,
         };
         // Validation cost for the whole block.
-        inner
-            .clock
-            .sleep(inner.config.validate_cost * batch.len() as u32);
+        kernel
+            .clock()
+            .sleep(config.validate_cost * batch.len() as u32);
         let mut tx_ids = Vec::with_capacity(batch.len());
         let mut valid = Vec::with_capacity(batch.len());
         {
-            let mut state = inner.state.lock();
+            let mut state = kernel.shard(0).state.lock();
             for endorsed in &batch {
                 let ok = match &endorsed.rwset {
                     Some(rwset) => state.validate_and_commit(rwset),
@@ -422,144 +383,101 @@ fn committer_loop(inner: Arc<Inner>, rx: Receiver<Vec<Endorsed>>) {
                 };
                 tx_ids.push(endorsed.tx_id);
                 valid.push(ok);
-                if ok {
-                    inner.committed.fetch_add(1, Ordering::Relaxed);
-                } else if endorsed.rwset.is_some() {
-                    inner.mvcc_conflicts.fetch_add(1, Ordering::Relaxed);
+                if !ok && endorsed.rwset.is_some() {
+                    policy.mvcc_conflicts.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
-        {
-            let mut pending = inner.pending_ids.lock();
+        let depth = {
+            let mut pending = policy.pending_ids.lock();
             for id in &tx_ids {
                 pending.remove(id);
             }
-        }
-        let timestamp = inner.clock.now();
-        let block = {
-            let ledger = inner.ledger.read();
-            Block::new(
-                ledger.height() + 1,
-                ledger.tip_hash(),
-                timestamp,
-                "fabric-orderer",
-                0,
+            pending.len()
+        };
+        // Distribution already happened at ordering time; in-flight
+        // endorsement depth stands in for a mempool on this EOV pipeline.
+        kernel.seal_block(
+            0,
+            Round {
+                proposer: "fabric-orderer".to_owned(),
                 tx_ids,
                 valid,
-            )
-        };
-        let events: Vec<CommitEvent> = block
-            .entries()
-            .map(|(tx_id, success)| CommitEvent {
-                tx_id,
-                success,
-                block_height: block.header.height,
-                shard: 0,
-                committed_at: timestamp,
-            })
-            .collect();
-        let height = block.header.height;
-        let sealed_txs = block.len();
-        inner
-            .ledger
-            .write()
-            .append(block)
-            .expect("committer builds sequential blocks");
-        inner.blocks.fetch_add(1, Ordering::Relaxed);
-        // Per-block observability; in-flight endorsement depth stands in
-        // for a mempool on this EOV pipeline.
-        let obs = inner.net.obs();
-        if obs.enabled() {
-            let labels = &[("chain", "fabric-sim")];
-            let registry = obs.registry();
-            registry
-                .counter_with("hammer_chain_blocks_sealed_total", labels)
-                .inc();
-            registry
-                .counter_with("hammer_chain_txs_sealed_total", labels)
-                .add(sealed_txs as u64);
-            registry
-                .gauge_with("hammer_chain_mempool_depth", labels)
-                .set(inner.pending_ids.lock().len() as u64);
-            obs.journal()
-                .block_seal(timestamp, "fabric-orderer", height, sealed_txs);
-        }
-        inner.bus.publish_all(&events);
+                gossip_to: Vec::new(),
+                mempool_depth: Some(depth),
+            },
+        );
     }
 }
 
-impl BlockchainClient for FabricSim {
-    fn chain_name(&self) -> &str {
-        "fabric-sim"
-    }
-
-    fn architecture(&self) -> Architecture {
-        Architecture::NonSharded
-    }
-
-    fn submit(&self, tx: SignedTransaction) -> Result<TxId, ChainError> {
-        if self.inner.shutdown.load(Ordering::Relaxed) {
-            return Err(ChainError::shutdown());
-        }
-        // Submissions land on the first endorsing peer; an outage there
-        // surfaces as a transient error rather than silent acceptance.
-        check_node_ingress(&self.inner.net, &Self::peer_name(0))?;
-        let id = tx.id;
-        {
-            let mut pending = self.inner.pending_ids.lock();
-            if !pending.insert(id) {
-                return Err(ChainError::rejected(MempoolError::Duplicate));
-            }
-        }
-        match self.inner.endorse_tx.try_send(tx) {
-            Ok(()) => Ok(id),
-            Err(_) => {
-                self.inner.pending_ids.lock().remove(&id);
-                self.inner.rejected_overload.fetch_add(1, Ordering::Relaxed);
-                self.inner.reject_debt.fetch_add(1, Ordering::Relaxed);
-                // Backpressure, not a verdict on the transaction: the
-                // submitter may back off and retry.
-                Err(ChainError::rejected(MempoolError::Full))
-            }
-        }
-    }
-
-    fn latest_height(&self, shard: u32) -> Result<u64, ChainError> {
-        if shard != 0 {
-            return Err(ChainError::unknown_shard(shard));
-        }
-        Ok(self.inner.ledger.read().height())
-    }
-
-    fn block_at(&self, shard: u32, height: u64) -> Result<Option<Block>, ChainError> {
-        if shard != 0 {
-            return Err(ChainError::unknown_shard(shard));
-        }
-        Ok(self.inner.ledger.read().block_at(height).cloned())
-    }
-
-    fn pending_txs(&self) -> Result<usize, ChainError> {
-        Ok(self.inner.pending_ids.lock().len())
-    }
-
-    fn subscribe_commits(&self) -> Receiver<CommitEvent> {
-        self.inner.bus.subscribe()
-    }
-
-    fn shutdown(&self) {
-        self.inner.shutdown.store(true, Ordering::Relaxed);
-    }
+/// Handle to a running Fabric simulation.
+pub struct FabricSim {
+    node: Arc<ChainNode<FabricPolicy>>,
 }
 
-impl Drop for FabricSim {
-    fn drop(&mut self) {
-        self.shutdown();
+impl_sim_handle!(FabricSim);
+
+impl FabricSim {
+    /// Starts the network: endorser pool, orderer, committer, peers.
+    pub fn start(config: FabricConfig, clock: SimClock, net: SimNetwork) -> Arc<Self> {
+        assert!(config.peers >= 1 && config.endorser_threads >= 1);
+        let (endorse_tx, endorse_rx) = bounded::<SignedTransaction>(config.inbox_capacity);
+        let mut builder = NodeKernelBuilder::new(clock, net)
+            .gossip_sizing(200, 150)
+            .endpoint("fabric-orderer");
+        for i in 0..config.peers {
+            builder = builder.sink_endpoint(&peer_name(i));
+        }
+        let node = builder.start(FabricPolicy {
+            config,
+            endorse_tx,
+            endorse_rx,
+            pending_ids: Mutex::new(HashSet::new()),
+            reject_debt: AtomicU64::new(0),
+            mvcc_conflicts: AtomicU64::new(0),
+            endorse_failures: AtomicU64::new(0),
+            rejected_overload: AtomicU64::new(0),
+        });
+        Arc::new(FabricSim { node })
+    }
+
+    /// Seeds an account directly into world state (genesis allocation).
+    pub fn seed_account(&self, account: hammer_chain::types::Address, checking: u64, savings: u64) {
+        SimChain::seed_account(&*self.node, account, checking, savings);
+    }
+
+    /// Reads an account's state.
+    pub fn account(
+        &self,
+        account: hammer_chain::types::Address,
+    ) -> Option<hammer_chain::state::AccountState> {
+        SimChain::account(&*self.node, account)
+    }
+
+    /// Snapshot of the activity counters.
+    pub fn stats(&self) -> FabricStats {
+        let stats = self.node.stats();
+        let policy = self.node.policy();
+        FabricStats {
+            blocks: stats.blocks,
+            committed: stats.committed,
+            mvcc_conflicts: policy.mvcc_conflicts.load(Ordering::Relaxed),
+            endorse_failures: policy.endorse_failures.load(Ordering::Relaxed),
+            bad_sig: stats.bad_sig,
+            rejected_overload: policy.rejected_overload.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Verifies the internal hash chain (used by correctness audits).
+    pub fn verify_ledger(&self) -> Result<(), hammer_chain::ledger::LedgerError> {
+        SimChain::verify_ledgers(&*self.node)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hammer_chain::client::BlockchainClient;
     use hammer_chain::smallbank::Op;
     use hammer_chain::types::{Address, Transaction};
     use hammer_crypto::Keypair;
@@ -809,6 +727,14 @@ mod tests {
             ));
         }
         assert!(wait_until(|| chain.pending_txs().unwrap() == 0, 8000));
+        chain.shutdown();
+    }
+
+    #[test]
+    fn reports_roles_for_fault_targeting() {
+        let chain = fast_chain(FabricConfig::default());
+        assert_eq!(SimChain::ingress_nodes(&*chain), vec!["fabric-peer-0"]);
+        assert_eq!(SimChain::sealer_nodes(&*chain), vec!["fabric-orderer"]);
         chain.shutdown();
     }
 }

@@ -19,27 +19,30 @@
 //!
 //! Throughput lands between Fabric and Neuchain, with high confirmation
 //! latency from the long consortium epochs — the shape Fig. 6 shows.
+//!
+//! Node scaffolding (per-shard sealer loops, ingress gating, sealed-block
+//! accounting, gossip) comes from the [`hammer_chain::kernel`]; this
+//! crate contributes the sharded-routing [`ConsensusPolicy`] and the
+//! cross-epoch relay.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam::channel::{Receiver, RecvTimeoutError};
-use hammer_chain::client::{
-    check_node_ingress, Architecture, BlockchainClient, ChainError, CommitEvent,
+use hammer_chain::client::Architecture;
+use hammer_chain::impl_sim_handle;
+use hammer_chain::kernel::{
+    ChainNode, ConsensusPolicy, Kernel, NodeKernelBuilder, Round, SimChain,
 };
-use hammer_chain::events::CommitBus;
-use hammer_chain::ledger::Ledger;
-use hammer_chain::mempool::Mempool;
 use hammer_chain::smallbank::Op;
 use hammer_chain::state::VersionedState;
-use hammer_chain::types::{verify_signed_batch, Address, Block, SignedTransaction, TxId};
+use hammer_chain::types::{Address, SignedTransaction};
 use hammer_crypto::sig::SigParams;
 use hammer_net::{SimClock, SimNetwork};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::Mutex;
 
 /// Configuration of the simulated Meepo deployment.
 #[derive(Clone, Debug)]
@@ -100,187 +103,66 @@ struct Credit {
     amount: u64,
 }
 
-struct Shard {
-    mempool: Mempool,
-    ledger: RwLock<Ledger>,
-    state: Mutex<VersionedState>,
-    relay_in: Mutex<Vec<Credit>>,
+fn node_name(shard: u32, i: usize) -> String {
+    format!("meepo-s{shard}-node-{i}")
 }
 
-struct Inner {
+/// The sharded consensus core: static account routing, per-shard epochs,
+/// and cross-epoch credit relay.
+pub struct MeepoPolicy {
     config: MeepoConfig,
-    clock: SimClock,
-    net: SimNetwork,
-    shards: Vec<Shard>,
-    bus: CommitBus,
-    shutdown: AtomicBool,
-    blocks: AtomicU64,
-    committed: AtomicU64,
-    failed: AtomicU64,
+    /// Inbound cross-epoch credits, one inbox per shard.
+    relay_in: Vec<Mutex<Vec<Credit>>>,
     cross_shard: AtomicU64,
-    bad_sig: AtomicU64,
 }
 
-/// Handle to a running Meepo simulation.
-pub struct MeepoSim {
-    inner: Arc<Inner>,
-}
-
-impl std::fmt::Debug for MeepoSim {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("MeepoSim")
-            .field("shards", &self.inner.config.shards)
-            .field("stats", &self.stats())
-            .finish()
+impl MeepoPolicy {
+    fn shard_of(&self, account: Address) -> u32 {
+        (account.as_u64() % self.config.shards as u64) as u32
     }
 }
 
-impl MeepoSim {
-    fn node_name(shard: u32, i: usize) -> String {
-        format!("meepo-s{shard}-node-{i}")
+impl ConsensusPolicy for MeepoPolicy {
+    fn chain_name(&self) -> &'static str {
+        "meepo-sim"
     }
 
-    /// The shard an account lives on.
-    pub fn shard_of(&self, account: Address) -> u32 {
-        (account.as_u64() % self.inner.config.shards as u64) as u32
-    }
-
-    /// Starts the deployment: per-shard epoch threads and node endpoints.
-    pub fn start(config: MeepoConfig, clock: SimClock, net: SimNetwork) -> Arc<Self> {
-        assert!(config.shards >= 1 && config.nodes_per_shard >= 1);
-        let shards = (0..config.shards)
-            .map(|_| Shard {
-                mempool: Mempool::new(config.mempool_capacity),
-                ledger: RwLock::new(Ledger::new()),
-                state: Mutex::new(VersionedState::new()),
-                relay_in: Mutex::new(Vec::new()),
-            })
-            .collect();
-        let inner = Arc::new(Inner {
-            config,
-            clock,
-            net,
-            shards,
-            bus: CommitBus::new(),
-            shutdown: AtomicBool::new(false),
-            blocks: AtomicU64::new(0),
-            committed: AtomicU64::new(0),
-            failed: AtomicU64::new(0),
-            cross_shard: AtomicU64::new(0),
-            bad_sig: AtomicU64::new(0),
-        });
-
-        for shard in 0..inner.config.shards {
-            for i in 0..inner.config.nodes_per_shard {
-                let endpoint = inner.net.register(&Self::node_name(shard, i));
-                let weak = Arc::downgrade(&inner);
-                std::thread::Builder::new()
-                    .name(format!("meepo-s{shard}-n{i}"))
-                    .spawn(move || loop {
-                        match endpoint.recv_timeout(Duration::from_millis(100)) {
-                            Ok(_) => {}
-                            Err(RecvTimeoutError::Timeout) => match weak.upgrade() {
-                                Some(inner) => {
-                                    if inner.shutdown.load(Ordering::Relaxed) {
-                                        return;
-                                    }
-                                }
-                                None => return,
-                            },
-                            Err(_) => return,
-                        }
-                    })
-                    .expect("spawn shard node");
-            }
-            let epoch_inner = Arc::clone(&inner);
-            std::thread::Builder::new()
-                .name(format!("meepo-epoch-s{shard}"))
-                .spawn(move || shard_epoch_loop(epoch_inner, shard))
-                .expect("spawn shard epoch thread");
-        }
-
-        Arc::new(MeepoSim { inner })
-    }
-
-    /// Seeds an account on its home shard.
-    pub fn seed_account(&self, account: Address, checking: u64, savings: u64) {
-        let shard = self.shard_of(account);
-        self.inner.shards[shard as usize]
-            .state
-            .lock()
-            .seed_account(account, checking, savings);
-    }
-
-    /// Reads an account from its home shard.
-    pub fn account(&self, account: Address) -> Option<hammer_chain::state::AccountState> {
-        let shard = self.shard_of(account);
-        self.inner.shards[shard as usize].state.lock().get(account)
-    }
-
-    /// Snapshot of the activity counters.
-    pub fn stats(&self) -> MeepoStats {
-        MeepoStats {
-            blocks: self.inner.blocks.load(Ordering::Relaxed),
-            committed: self.inner.committed.load(Ordering::Relaxed),
-            failed: self.inner.failed.load(Ordering::Relaxed),
-            cross_shard: self.inner.cross_shard.load(Ordering::Relaxed),
-            bad_sig: self.inner.bad_sig.load(Ordering::Relaxed),
+    fn architecture(&self) -> Architecture {
+        Architecture::Sharded {
+            shards: self.config.shards,
         }
     }
 
-    /// Sum of funds across every shard (conservation audits).
-    pub fn total_funds(&self) -> u128 {
-        self.inner
-            .shards
-            .iter()
-            .map(|s| s.state.lock().total_funds())
-            .sum()
+    /// Ingress goes through the target shard's leader; a fault there only
+    /// affects that shard.
+    fn ingress_node(&self, shard: u32) -> String {
+        node_name(shard, 0)
     }
 
-    /// Per-shard committed block counts (shard-aware load reporting).
-    pub fn shard_heights(&self) -> Vec<u64> {
-        self.inner
-            .shards
-            .iter()
-            .map(|s| s.ledger.read().height())
-            .collect()
+    /// Route by the first touched account (the transaction's home shard,
+    /// where its debit executes).
+    fn route(&self, tx: &SignedTransaction) -> u32 {
+        tx.tx
+            .op
+            .touched_accounts()
+            .first()
+            .map(|a| self.shard_of(*a))
+            .unwrap_or(0)
     }
 
-    /// Verifies every shard's hash chain.
-    pub fn verify_ledgers(&self) -> Result<(), hammer_chain::ledger::LedgerError> {
-        for s in &self.inner.shards {
-            s.ledger.read().verify_chain()?;
-        }
-        Ok(())
+    fn home_shard(&self, account: Address) -> u32 {
+        self.shard_of(account)
     }
-}
 
-/// Outcome of executing one transaction on its source shard.
-enum ExecOutcome {
-    Ok,
-    OkCrossShard(u32, Credit),
-    Failed,
-}
+    fn seal_wait(&self, _shard: u32) -> Duration {
+        self.config.epoch_interval
+    }
 
-fn shard_epoch_loop(inner: Arc<Inner>, shard_id: u32) {
-    let shard_count = inner.config.shards as u64;
-    loop {
-        if inner.shutdown.load(Ordering::Relaxed) {
-            return;
-        }
-        inner.clock.sleep(inner.config.epoch_interval);
-        if inner.shutdown.load(Ordering::Relaxed) {
-            return;
-        }
-        // A crashed shard leader cuts no epochs; its mempool and relayed
-        // credits wait for the restart. Other shards are unaffected.
-        if inner.net.node_crashed(&MeepoSim::node_name(shard_id, 0)) {
-            continue;
-        }
-        let shard = &inner.shards[shard_id as usize];
+    fn build_round(&self, kernel: &Kernel, shard_id: u32) -> Option<Round> {
+        let shard = kernel.shard(shard_id);
 
         // 1. Apply cross-epoch credits relayed from other shards.
-        let credits: Vec<Credit> = std::mem::take(&mut *shard.relay_in.lock());
+        let credits: Vec<Credit> = std::mem::take(&mut *self.relay_in[shard_id as usize].lock());
         if !credits.is_empty() {
             let mut state = shard.state.lock();
             for c in &credits {
@@ -293,41 +175,33 @@ fn shard_epoch_loop(inner: Arc<Inner>, shard_id: u32) {
         }
 
         // 2. Cut this shard's block.
-        let mut txs = shard.mempool.drain(inner.config.max_block_txs);
+        let mut txs = shard.mempool.drain(self.config.max_block_txs);
         if txs.is_empty() && credits.is_empty() {
-            continue;
+            return None;
         }
-        if inner.config.verify_signatures {
-            let verdicts = verify_signed_batch(&txs, &inner.config.sig_params);
-            let mut verdicts = verdicts.iter();
-            txs.retain(|_| {
-                let ok = *verdicts.next().expect("one verdict per tx");
-                if !ok {
-                    inner.bad_sig.fetch_add(1, Ordering::Relaxed);
-                }
-                ok
-            });
+        if self.config.verify_signatures {
+            kernel.verify_retain(&mut txs, &self.config.sig_params);
         }
-        inner
-            .clock
-            .sleep(inner.config.exec_cost_per_tx * txs.len() as u32);
+        kernel
+            .clock()
+            .sleep(self.config.exec_cost_per_tx * txs.len() as u32);
 
         let mut tx_ids = Vec::with_capacity(txs.len());
         let mut valid = Vec::with_capacity(txs.len());
         {
             let mut state = shard.state.lock();
             for tx in &txs {
-                let outcome = execute_on_shard(&mut state, &tx.tx.op, shard_id, shard_count);
+                let outcome = self.execute_on_shard(&mut state, &tx.tx.op, shard_id);
                 let ok = match outcome {
                     ExecOutcome::Ok => true,
                     ExecOutcome::OkCrossShard(dest, credit) => {
-                        inner.cross_shard.fetch_add(1, Ordering::Relaxed);
-                        inner.shards[dest as usize].relay_in.lock().push(credit);
+                        self.cross_shard.fetch_add(1, Ordering::Relaxed);
+                        self.relay_in[dest as usize].lock().push(credit);
                         // Cross-epoch relay traffic to one node of the
                         // destination shard.
-                        let _ = inner.net.send(
-                            &MeepoSim::node_name(shard_id, 0),
-                            &MeepoSim::node_name(dest, 0),
+                        let _ = kernel.net().send(
+                            &node_name(shard_id, 0),
+                            &node_name(dest, 0),
                             vec![0u8; 96],
                         );
                         true
@@ -336,218 +210,178 @@ fn shard_epoch_loop(inner: Arc<Inner>, shard_id: u32) {
                 };
                 tx_ids.push(tx.id);
                 valid.push(ok);
-                if ok {
-                    inner.committed.fetch_add(1, Ordering::Relaxed);
-                } else {
-                    inner.failed.fetch_add(1, Ordering::Relaxed);
-                }
             }
         }
 
         if tx_ids.is_empty() {
-            continue;
+            return None;
         }
-        let timestamp = inner.clock.now();
-        let block = {
-            let ledger = shard.ledger.read();
-            Block::new(
-                ledger.height() + 1,
-                ledger.tip_hash(),
-                timestamp,
-                &MeepoSim::node_name(shard_id, 0),
-                shard_id,
-                tx_ids,
-                valid,
-            )
-        };
-
-        // Intra-shard block distribution.
-        let approx_size = 200 + block.len() * 110;
-        for i in 1..inner.config.nodes_per_shard {
-            let _ = inner.net.send(
-                &MeepoSim::node_name(shard_id, 0),
-                &MeepoSim::node_name(shard_id, i),
-                vec![0u8; approx_size.min(1 << 20)],
-            );
-        }
-
-        let events: Vec<CommitEvent> = block
-            .entries()
-            .map(|(tx_id, success)| CommitEvent {
-                tx_id,
-                success,
-                block_height: block.header.height,
-                shard: shard_id,
-                committed_at: timestamp,
-            })
-            .collect();
-        let height = block.header.height;
-        let sealed_txs = block.len();
-        shard
-            .ledger
-            .write()
-            .append(block)
-            .expect("shard epochs build sequential blocks");
-        inner.blocks.fetch_add(1, Ordering::Relaxed);
-        // Per-epoch, per-shard observability.
-        let obs = inner.net.obs();
-        if obs.enabled() {
-            let shard_label = shard_id.to_string();
-            let labels = &[("chain", "meepo-sim"), ("shard", shard_label.as_str())];
-            let registry = obs.registry();
-            registry
-                .counter_with("hammer_chain_blocks_sealed_total", labels)
-                .inc();
-            registry
-                .counter_with("hammer_chain_txs_sealed_total", labels)
-                .add(sealed_txs as u64);
-            registry
-                .gauge_with("hammer_chain_mempool_depth", labels)
-                .set(shard.mempool.len() as u64);
-            obs.journal().block_seal(
-                timestamp,
-                &MeepoSim::node_name(shard_id, 0),
-                height,
-                sealed_txs,
-            );
-        }
-        inner.bus.publish_all(&events);
+        // Intra-shard block distribution from the shard leader.
+        Some(Round {
+            proposer: node_name(shard_id, 0),
+            tx_ids,
+            valid,
+            gossip_to: (1..self.config.nodes_per_shard)
+                .map(|i| node_name(shard_id, i))
+                .collect(),
+            mempool_depth: None,
+        })
     }
 }
 
-/// Executes `op` on its source shard; cross-shard transfers debit locally
-/// and emit a relay credit.
-fn execute_on_shard(
-    state: &mut VersionedState,
-    op: &Op,
-    shard_id: u32,
-    shard_count: u64,
-) -> ExecOutcome {
-    let home = |a: &Address| (a.as_u64() % shard_count) as u32;
-    match op {
-        Op::SendPayment { from, to, amount } => {
-            debug_assert_eq!(home(from), shard_id, "router sent tx to wrong shard");
-            if home(to) == shard_id {
-                return match state.apply(op) {
-                    Ok(_) => ExecOutcome::Ok,
-                    Err(_) => ExecOutcome::Failed,
-                };
-            }
-            // Cross-shard: debit locally, relay the credit.
-            match state.get(*from) {
-                Some(acct) if acct.checking >= *amount => {
-                    state.force_write(*from, acct.checking - amount, acct.savings);
-                    ExecOutcome::OkCrossShard(
-                        home(to),
-                        Credit {
-                            account: *to,
-                            amount: *amount,
-                        },
-                    )
+/// Outcome of executing one transaction on its source shard.
+enum ExecOutcome {
+    Ok,
+    OkCrossShard(u32, Credit),
+    Failed,
+}
+
+impl MeepoPolicy {
+    /// Executes `op` on its source shard; cross-shard transfers debit
+    /// locally and emit a relay credit.
+    fn execute_on_shard(&self, state: &mut VersionedState, op: &Op, shard_id: u32) -> ExecOutcome {
+        let home = |a: &Address| self.shard_of(*a);
+        match op {
+            Op::SendPayment { from, to, amount } => {
+                debug_assert_eq!(home(from), shard_id, "router sent tx to wrong shard");
+                if home(to) == shard_id {
+                    return match state.apply(op) {
+                        Ok(_) => ExecOutcome::Ok,
+                        Err(_) => ExecOutcome::Failed,
+                    };
                 }
-                _ => ExecOutcome::Failed,
-            }
-        }
-        Op::Amalgamate { from, to } => {
-            debug_assert_eq!(home(from), shard_id, "router sent tx to wrong shard");
-            if home(to) == shard_id {
-                return match state.apply(op) {
-                    Ok(_) => ExecOutcome::Ok,
-                    Err(_) => ExecOutcome::Failed,
-                };
-            }
-            match state.get(*from) {
-                Some(acct) => {
-                    let moved = acct.savings;
-                    state.force_write(*from, acct.checking, 0);
-                    ExecOutcome::OkCrossShard(
-                        home(to),
-                        Credit {
-                            account: *to,
-                            amount: moved,
-                        },
-                    )
+                // Cross-shard: debit locally, relay the credit.
+                match state.get(*from) {
+                    Some(acct) if acct.checking >= *amount => {
+                        state.force_write(*from, acct.checking - amount, acct.savings);
+                        ExecOutcome::OkCrossShard(
+                            home(to),
+                            Credit {
+                                account: *to,
+                                amount: *amount,
+                            },
+                        )
+                    }
+                    _ => ExecOutcome::Failed,
                 }
-                None => ExecOutcome::Failed,
+            }
+            Op::Amalgamate { from, to } => {
+                debug_assert_eq!(home(from), shard_id, "router sent tx to wrong shard");
+                if home(to) == shard_id {
+                    return match state.apply(op) {
+                        Ok(_) => ExecOutcome::Ok,
+                        Err(_) => ExecOutcome::Failed,
+                    };
+                }
+                match state.get(*from) {
+                    Some(acct) => {
+                        let moved = acct.savings;
+                        state.force_write(*from, acct.checking, 0);
+                        ExecOutcome::OkCrossShard(
+                            home(to),
+                            Credit {
+                                account: *to,
+                                amount: moved,
+                            },
+                        )
+                    }
+                    None => ExecOutcome::Failed,
+                }
+            }
+            single_shard => match state.apply(single_shard) {
+                Ok(_) => ExecOutcome::Ok,
+                Err(_) => ExecOutcome::Failed,
+            },
+        }
+    }
+}
+
+/// Handle to a running Meepo simulation.
+pub struct MeepoSim {
+    node: Arc<ChainNode<MeepoPolicy>>,
+}
+
+impl_sim_handle!(MeepoSim);
+
+impl MeepoSim {
+    /// Starts the deployment: per-shard sealer threads and node endpoints
+    /// on the kernel runtime.
+    pub fn start(config: MeepoConfig, clock: SimClock, net: SimNetwork) -> Arc<Self> {
+        assert!(config.shards >= 1 && config.nodes_per_shard >= 1);
+        let mut builder = NodeKernelBuilder::new(clock, net)
+            .mempool_capacity(config.mempool_capacity)
+            .gossip_sizing(200, 110);
+        for shard in 0..config.shards {
+            for i in 0..config.nodes_per_shard {
+                builder = builder.sink_endpoint(&node_name(shard, i));
             }
         }
-        single_shard => match state.apply(single_shard) {
-            Ok(_) => ExecOutcome::Ok,
-            Err(_) => ExecOutcome::Failed,
-        },
-    }
-}
-
-impl BlockchainClient for MeepoSim {
-    fn chain_name(&self) -> &str {
-        "meepo-sim"
+        let relay_in = (0..config.shards).map(|_| Mutex::new(Vec::new())).collect();
+        let node = builder.start(MeepoPolicy {
+            config,
+            relay_in,
+            cross_shard: AtomicU64::new(0),
+        });
+        Arc::new(MeepoSim { node })
     }
 
-    fn architecture(&self) -> Architecture {
-        Architecture::Sharded {
-            shards: self.inner.config.shards,
+    /// The shard an account lives on.
+    pub fn shard_of(&self, account: Address) -> u32 {
+        self.node.policy().shard_of(account)
+    }
+
+    /// Seeds an account on its home shard.
+    pub fn seed_account(&self, account: Address, checking: u64, savings: u64) {
+        SimChain::seed_account(&*self.node, account, checking, savings);
+    }
+
+    /// Reads an account from its home shard.
+    pub fn account(&self, account: Address) -> Option<hammer_chain::state::AccountState> {
+        SimChain::account(&*self.node, account)
+    }
+
+    /// Snapshot of the activity counters.
+    pub fn stats(&self) -> MeepoStats {
+        let stats = self.node.stats();
+        MeepoStats {
+            blocks: stats.blocks,
+            committed: stats.committed,
+            failed: stats.failed,
+            cross_shard: self.node.policy().cross_shard.load(Ordering::Relaxed),
+            bad_sig: stats.bad_sig,
         }
     }
 
-    fn submit(&self, tx: SignedTransaction) -> Result<TxId, ChainError> {
-        if self.inner.shutdown.load(Ordering::Relaxed) {
-            return Err(ChainError::shutdown());
-        }
-        // Route by the first touched account (the transaction's home
-        // shard, where its debit executes).
-        let touched = tx.tx.op.touched_accounts();
-        let shard = touched.first().map(|a| self.shard_of(*a)).unwrap_or(0);
-        // Ingress goes through the target shard's leader; a fault there
-        // only affects that shard.
-        check_node_ingress(&self.inner.net, &Self::node_name(shard, 0))?;
-        let id = tx.id;
-        self.inner.shards[shard as usize]
-            .mempool
-            .push(tx)
-            .map_err(ChainError::rejected)?;
-        Ok(id)
+    /// Sum of funds across every shard (conservation audits).
+    pub fn total_funds(&self) -> u128 {
+        self.node
+            .kernel()
+            .shards()
+            .iter()
+            .map(|s| s.state.lock().total_funds())
+            .sum()
     }
 
-    fn latest_height(&self, shard: u32) -> Result<u64, ChainError> {
-        let s = self
-            .inner
-            .shards
-            .get(shard as usize)
-            .ok_or(ChainError::unknown_shard(shard))?;
-        Ok(s.ledger.read().height())
+    /// Per-shard committed block counts (shard-aware load reporting).
+    pub fn shard_heights(&self) -> Vec<u64> {
+        self.node
+            .kernel()
+            .shards()
+            .iter()
+            .map(|s| s.ledger.read().height())
+            .collect()
     }
 
-    fn block_at(&self, shard: u32, height: u64) -> Result<Option<Block>, ChainError> {
-        let s = self
-            .inner
-            .shards
-            .get(shard as usize)
-            .ok_or(ChainError::unknown_shard(shard))?;
-        Ok(s.ledger.read().block_at(height).cloned())
-    }
-
-    fn pending_txs(&self) -> Result<usize, ChainError> {
-        Ok(self.inner.shards.iter().map(|s| s.mempool.len()).sum())
-    }
-
-    fn subscribe_commits(&self) -> Receiver<CommitEvent> {
-        self.inner.bus.subscribe()
-    }
-
-    fn shutdown(&self) {
-        self.inner.shutdown.store(true, Ordering::Relaxed);
-    }
-}
-
-impl Drop for MeepoSim {
-    fn drop(&mut self) {
-        self.shutdown();
+    /// Verifies every shard's hash chain.
+    pub fn verify_ledgers(&self) -> Result<(), hammer_chain::ledger::LedgerError> {
+        SimChain::verify_ledgers(&*self.node)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hammer_chain::client::BlockchainClient;
     use hammer_chain::types::Transaction;
     use hammer_crypto::Keypair;
     use hammer_net::LinkConfig;
@@ -739,7 +573,7 @@ mod tests {
             epoch_interval: Duration::from_millis(200),
             ..MeepoConfig::default()
         });
-        chain.inner.net.install_faults(FaultPlan::new().crash(
+        chain.node.net().install_faults(FaultPlan::new().crash(
             "meepo-s0-node-0",
             Duration::ZERO,
             Duration::from_secs(3600),
@@ -828,6 +662,20 @@ mod tests {
     fn per_shard_heights_reported() {
         let chain = fast_chain(MeepoConfig::default());
         assert_eq!(chain.shard_heights().len(), 2);
+        chain.shutdown();
+    }
+
+    #[test]
+    fn reports_roles_for_fault_targeting() {
+        let chain = fast_chain(MeepoConfig::default());
+        assert_eq!(
+            SimChain::ingress_nodes(&*chain),
+            vec!["meepo-s0-node-0", "meepo-s1-node-0"]
+        );
+        assert_eq!(
+            SimChain::sealer_nodes(&*chain),
+            vec!["meepo-s0-node-0", "meepo-s1-node-0"]
+        );
         chain.shutdown();
     }
 }

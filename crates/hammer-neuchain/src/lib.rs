@@ -10,26 +10,23 @@
 //! Roles, mirroring the paper's deployment (§V *Environment*): one **epoch
 //! server** cutting epochs, one **client proxy** accepting submissions, and
 //! the remaining nodes as **block servers** replicating blocks.
+//!
+//! Node scaffolding (threads, ingress gating, sealing, observability)
+//! comes from the [`hammer_chain::kernel`]; this crate only contributes
+//! the epoch-cut [`ConsensusPolicy`].
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam::channel::{Receiver, RecvTimeoutError};
-use hammer_chain::client::{
-    check_node_ingress, Architecture, BlockchainClient, ChainError, CommitEvent,
+use hammer_chain::impl_sim_handle;
+use hammer_chain::kernel::{
+    ChainNode, ConsensusPolicy, Kernel, NodeKernelBuilder, Round, SimChain,
 };
-use hammer_chain::events::CommitBus;
-use hammer_chain::ledger::Ledger;
-use hammer_chain::mempool::Mempool;
-use hammer_chain::state::VersionedState;
-use hammer_chain::types::{verify_signed_batch, Block, SignedTransaction, TxId};
 use hammer_crypto::sig::SigParams;
 use hammer_net::{SimClock, SimNetwork};
-use parking_lot::{Mutex, RwLock};
 
 /// Configuration of the simulated Neuchain deployment.
 #[derive(Clone, Debug)]
@@ -78,98 +75,100 @@ pub struct NeuchainStats {
     pub bad_sig: u64,
 }
 
-struct Inner {
+/// The epoch-cut consensus core: drain the pool every epoch, order
+/// deterministically by transaction id, execute, seal.
+pub struct NeuchainPolicy {
     config: NeuchainConfig,
-    clock: SimClock,
-    net: SimNetwork,
-    mempool: Mempool,
-    ledger: RwLock<Ledger>,
-    state: Mutex<VersionedState>,
-    bus: CommitBus,
-    shutdown: AtomicBool,
-    epochs: AtomicU64,
-    committed: AtomicU64,
-    failed: AtomicU64,
-    bad_sig: AtomicU64,
+}
+
+fn server_name(i: usize) -> String {
+    format!("neuchain-block-server-{i}")
+}
+
+impl ConsensusPolicy for NeuchainPolicy {
+    fn chain_name(&self) -> &'static str {
+        "neuchain-sim"
+    }
+
+    fn ingress_node(&self, _shard: u32) -> String {
+        "neuchain-client-proxy".to_owned()
+    }
+
+    fn sealer_node(&self, _shard: u32) -> String {
+        "neuchain-epoch-server".to_owned()
+    }
+
+    fn seal_wait(&self, _shard: u32) -> Duration {
+        self.config.epoch_interval
+    }
+
+    fn build_round(&self, kernel: &Kernel, shard: u32) -> Option<Round> {
+        let ctx = kernel.shard(shard);
+        let mut txs = ctx.mempool.drain(self.config.max_block_txs);
+        if txs.is_empty() {
+            // Neuchain still advances epochs, but empty blocks are elided
+            // in the simulation to keep ledgers compact.
+            return None;
+        }
+        // Deterministic order: sort by transaction id. Every block server
+        // derives the same order with no communication.
+        txs.sort_by_key(|t| t.id);
+
+        if self.config.verify_signatures {
+            kernel.verify_retain(&mut txs, &self.config.sig_params);
+        }
+
+        // Deterministic execution cost.
+        kernel
+            .clock()
+            .sleep(self.config.exec_cost_per_tx * txs.len() as u32);
+
+        let mut tx_ids = Vec::with_capacity(txs.len());
+        let mut valid = Vec::with_capacity(txs.len());
+        {
+            let mut state = ctx.state.lock();
+            for tx in &txs {
+                tx_ids.push(tx.id);
+                valid.push(state.apply(&tx.tx.op).is_ok());
+            }
+        }
+
+        Some(Round {
+            proposer: "neuchain-epoch-server".to_owned(),
+            tx_ids,
+            valid,
+            gossip_to: (0..self.config.block_servers).map(server_name).collect(),
+            mempool_depth: None,
+        })
+    }
 }
 
 /// Handle to a running Neuchain simulation.
 pub struct NeuchainSim {
-    inner: Arc<Inner>,
+    node: Arc<ChainNode<NeuchainPolicy>>,
 }
 
-impl std::fmt::Debug for NeuchainSim {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("NeuchainSim")
-            .field("height", &self.inner.ledger.read().height())
-            .field("pending", &self.inner.mempool.len())
-            .finish()
-    }
-}
+impl_sim_handle!(NeuchainSim);
 
 impl NeuchainSim {
-    fn server_name(i: usize) -> String {
-        format!("neuchain-block-server-{i}")
-    }
-
-    /// Starts the deployment: epoch server thread, client proxy pool,
-    /// block-server endpoints.
+    /// Starts the deployment: epoch server, client proxy, and
+    /// block-server endpoints on the kernel runtime.
     pub fn start(config: NeuchainConfig, clock: SimClock, net: SimNetwork) -> Arc<Self> {
         assert!(config.block_servers >= 1);
-        let inner = Arc::new(Inner {
-            mempool: Mempool::new(config.mempool_capacity),
-            config,
-            clock,
-            net,
-            ledger: RwLock::new(Ledger::new()),
-            state: Mutex::new(VersionedState::new()),
-            bus: CommitBus::new(),
-            shutdown: AtomicBool::new(false),
-            epochs: AtomicU64::new(0),
-            committed: AtomicU64::new(0),
-            failed: AtomicU64::new(0),
-            bad_sig: AtomicU64::new(0),
-        });
-
-        inner.net.register("neuchain-epoch-server");
-        inner.net.register("neuchain-client-proxy");
-        for i in 0..inner.config.block_servers {
-            let endpoint = inner.net.register(&Self::server_name(i));
-            let weak = Arc::downgrade(&inner);
-            std::thread::Builder::new()
-                .name(format!("neuchain-bs-{i}"))
-                .spawn(move || loop {
-                    match endpoint.recv_timeout(Duration::from_millis(100)) {
-                        Ok(_) => {}
-                        Err(RecvTimeoutError::Timeout) => match weak.upgrade() {
-                            Some(inner) => {
-                                if inner.shutdown.load(Ordering::Relaxed) {
-                                    return;
-                                }
-                            }
-                            None => return,
-                        },
-                        Err(_) => return,
-                    }
-                })
-                .expect("spawn block server");
+        let mut builder = NodeKernelBuilder::new(clock, net)
+            .mempool_capacity(config.mempool_capacity)
+            .endpoint("neuchain-epoch-server")
+            .endpoint("neuchain-client-proxy");
+        for i in 0..config.block_servers {
+            builder = builder.sink_endpoint(&server_name(i));
         }
-
-        let epoch_inner = Arc::clone(&inner);
-        std::thread::Builder::new()
-            .name("neuchain-epoch".to_owned())
-            .spawn(move || epoch_loop(epoch_inner))
-            .expect("spawn epoch server");
-
-        Arc::new(NeuchainSim { inner })
+        let node = builder.start(NeuchainPolicy { config });
+        Arc::new(NeuchainSim { node })
     }
 
     /// Seeds an account directly into world state (genesis allocation).
     pub fn seed_account(&self, account: hammer_chain::types::Address, checking: u64, savings: u64) {
-        self.inner
-            .state
-            .lock()
-            .seed_account(account, checking, savings);
+        SimChain::seed_account(&*self.node, account, checking, savings);
     }
 
     /// Reads an account's state.
@@ -177,201 +176,32 @@ impl NeuchainSim {
         &self,
         account: hammer_chain::types::Address,
     ) -> Option<hammer_chain::state::AccountState> {
-        self.inner.state.lock().get(account)
+        SimChain::account(&*self.node, account)
     }
 
     /// Snapshot of the activity counters.
     pub fn stats(&self) -> NeuchainStats {
+        let stats = self.node.stats();
         NeuchainStats {
-            epochs: self.inner.epochs.load(Ordering::Relaxed),
-            committed: self.inner.committed.load(Ordering::Relaxed),
-            failed: self.inner.failed.load(Ordering::Relaxed),
-            bad_sig: self.inner.bad_sig.load(Ordering::Relaxed),
+            epochs: stats.blocks,
+            committed: stats.committed,
+            failed: stats.failed,
+            bad_sig: stats.bad_sig,
         }
     }
 
     /// Verifies the internal hash chain.
     pub fn verify_ledger(&self) -> Result<(), hammer_chain::ledger::LedgerError> {
-        self.inner.ledger.read().verify_chain()
-    }
-}
-
-fn epoch_loop(inner: Arc<Inner>) {
-    while !inner.shutdown.load(Ordering::Relaxed) {
-        inner.clock.sleep(inner.config.epoch_interval);
-        if inner.shutdown.load(Ordering::Relaxed) {
-            return;
-        }
-        // A crashed epoch server cuts no epochs; pooled transactions wait
-        // for the restart.
-        if inner.net.node_crashed("neuchain-epoch-server") {
-            continue;
-        }
-        let mut txs = inner.mempool.drain(inner.config.max_block_txs);
-        if txs.is_empty() {
-            // Neuchain still advances epochs, but empty blocks are elided
-            // in the simulation to keep ledgers compact.
-            continue;
-        }
-        // Deterministic order: sort by transaction id. Every block server
-        // derives the same order with no communication.
-        txs.sort_by_key(|t| t.id);
-
-        // Signature verification: the whole epoch batch goes through the
-        // shared-table batch verifier, amortising per-key precomputation.
-        if inner.config.verify_signatures {
-            let verdicts = verify_signed_batch(&txs, &inner.config.sig_params);
-            let mut verdicts = verdicts.iter();
-            txs.retain(|_| {
-                let ok = *verdicts.next().expect("one verdict per tx");
-                if !ok {
-                    inner.bad_sig.fetch_add(1, Ordering::Relaxed);
-                }
-                ok
-            });
-        }
-
-        // Deterministic execution cost.
-        inner
-            .clock
-            .sleep(inner.config.exec_cost_per_tx * txs.len() as u32);
-
-        let mut tx_ids = Vec::with_capacity(txs.len());
-        let mut valid = Vec::with_capacity(txs.len());
-        {
-            let mut state = inner.state.lock();
-            for tx in &txs {
-                let ok = state.apply(&tx.tx.op).is_ok();
-                tx_ids.push(tx.id);
-                valid.push(ok);
-                if ok {
-                    inner.committed.fetch_add(1, Ordering::Relaxed);
-                } else {
-                    inner.failed.fetch_add(1, Ordering::Relaxed);
-                }
-            }
-        }
-
-        let timestamp = inner.clock.now();
-        let block = {
-            let ledger = inner.ledger.read();
-            Block::new(
-                ledger.height() + 1,
-                ledger.tip_hash(),
-                timestamp,
-                "neuchain-epoch-server",
-                0,
-                tx_ids,
-                valid,
-            )
-        };
-
-        // Distribute the epoch block to the block servers.
-        let approx_size = 200 + block.len() * 110;
-        for i in 0..inner.config.block_servers {
-            let _ = inner.net.send(
-                "neuchain-epoch-server",
-                &NeuchainSim::server_name(i),
-                vec![0u8; approx_size.min(1 << 20)],
-            );
-        }
-
-        let events: Vec<CommitEvent> = block
-            .entries()
-            .map(|(tx_id, success)| CommitEvent {
-                tx_id,
-                success,
-                block_height: block.header.height,
-                shard: 0,
-                committed_at: timestamp,
-            })
-            .collect();
-        let height = block.header.height;
-        let sealed_txs = block.len();
-        inner
-            .ledger
-            .write()
-            .append(block)
-            .expect("epoch server builds sequential blocks");
-        inner.epochs.fetch_add(1, Ordering::Relaxed);
-        // Per-epoch observability.
-        let obs = inner.net.obs();
-        if obs.enabled() {
-            let labels = &[("chain", "neuchain-sim")];
-            let registry = obs.registry();
-            registry
-                .counter_with("hammer_chain_blocks_sealed_total", labels)
-                .inc();
-            registry
-                .counter_with("hammer_chain_txs_sealed_total", labels)
-                .add(sealed_txs as u64);
-            registry
-                .gauge_with("hammer_chain_mempool_depth", labels)
-                .set(inner.mempool.len() as u64);
-            obs.journal()
-                .block_seal(timestamp, "neuchain-epoch-server", height, sealed_txs);
-        }
-        inner.bus.publish_all(&events);
-    }
-}
-
-impl BlockchainClient for NeuchainSim {
-    fn chain_name(&self) -> &str {
-        "neuchain-sim"
-    }
-
-    fn architecture(&self) -> Architecture {
-        Architecture::NonSharded
-    }
-
-    fn submit(&self, tx: SignedTransaction) -> Result<TxId, ChainError> {
-        if self.inner.shutdown.load(Ordering::Relaxed) {
-            return Err(ChainError::shutdown());
-        }
-        check_node_ingress(&self.inner.net, "neuchain-client-proxy")?;
-        let id = tx.id;
-        self.inner.mempool.push(tx).map_err(ChainError::rejected)?;
-        Ok(id)
-    }
-
-    fn latest_height(&self, shard: u32) -> Result<u64, ChainError> {
-        if shard != 0 {
-            return Err(ChainError::unknown_shard(shard));
-        }
-        Ok(self.inner.ledger.read().height())
-    }
-
-    fn block_at(&self, shard: u32, height: u64) -> Result<Option<Block>, ChainError> {
-        if shard != 0 {
-            return Err(ChainError::unknown_shard(shard));
-        }
-        Ok(self.inner.ledger.read().block_at(height).cloned())
-    }
-
-    fn pending_txs(&self) -> Result<usize, ChainError> {
-        Ok(self.inner.mempool.len())
-    }
-
-    fn subscribe_commits(&self) -> Receiver<CommitEvent> {
-        self.inner.bus.subscribe()
-    }
-
-    fn shutdown(&self) {
-        self.inner.shutdown.store(true, Ordering::Relaxed);
-    }
-}
-
-impl Drop for NeuchainSim {
-    fn drop(&mut self) {
-        self.shutdown();
+        self.node.verify_ledgers()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hammer_chain::client::{Architecture, BlockchainClient};
     use hammer_chain::smallbank::Op;
-    use hammer_chain::types::{Address, Transaction};
+    use hammer_chain::types::{Address, SignedTransaction, Transaction, TxId};
     use hammer_crypto::Keypair;
     use hammer_net::LinkConfig;
 
@@ -592,6 +422,21 @@ mod tests {
             let b = chain.block_at(0, h).unwrap().unwrap();
             assert!(b.len() <= 7);
         }
+        chain.shutdown();
+    }
+
+    #[test]
+    fn reports_roles_for_fault_targeting() {
+        let chain = fast_chain(NeuchainConfig::default());
+        assert_eq!(chain.architecture(), Architecture::NonSharded);
+        assert_eq!(
+            SimChain::ingress_nodes(&*chain),
+            vec!["neuchain-client-proxy".to_owned()]
+        );
+        assert_eq!(
+            SimChain::sealer_nodes(&*chain),
+            vec!["neuchain-epoch-server".to_owned()]
+        );
         chain.shutdown();
     }
 }

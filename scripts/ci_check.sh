@@ -38,6 +38,27 @@ if [ -n "$violations" ]; then
     exit 1
 fi
 
+echo "==> grep gate: sim crates stay on the node kernel"
+# The four sim crates are consensus policies on the shared chain-node
+# runtime: thread lifecycle belongs to the kernel's Worker/shutdown-join
+# machinery, and block-seal instrumentation (sealed counters, mempool
+# gauge, block_seal journal) is emitted by Kernel::seal_block only.
+# Hand-rolled threads or duplicate instrumentation in a sim crate means
+# the kernel is being bypassed.
+sim_crates="crates/hammer-ethereum crates/hammer-fabric crates/hammer-neuchain crates/hammer-meepo"
+violations=$(grep -rnE 'thread::Builder::new|thread::spawn' $sim_crates 2>/dev/null || true)
+if [ -n "$violations" ]; then
+    echo "ci_check: raw thread creation in a sim crate (use kernel Workers):" >&2
+    echo "$violations" >&2
+    exit 1
+fi
+violations=$(grep -rnE 'hammer_chain_blocks_sealed_total|hammer_chain_txs_sealed_total|hammer_chain_mempool_depth|journal\(\)\.block_seal|block_seal\(' $sim_crates 2>/dev/null || true)
+if [ -n "$violations" ]; then
+    echo "ci_check: direct block-seal instrumentation in a sim crate (Kernel::seal_block emits it):" >&2
+    echo "$violations" >&2
+    exit 1
+fi
+
 echo "==> obs-overhead smoke: disabled registry must not tax the hot path"
 # Short samples (the vendored criterion has no CLI filter, so the whole
 # group runs): the sign_obs_disabled/sign_plain ratio must stay within

@@ -1,0 +1,21 @@
+//! Shared helpers for the integration-test binaries.
+
+use parking_lot::{Mutex, MutexGuard};
+
+/// Chain simulations are timing-sensitive; on small CI hosts running them
+/// concurrently within one test binary starves the simulator threads, so
+/// timing-sensitive tests serialise on this guard. The static is
+/// per-binary (each integration test crate compiles its own copy), which
+/// matches how the harness parallelises: threads within a binary, not
+/// across binaries.
+static GUARD: Mutex<()> = Mutex::new(());
+
+/// Takes the binary-wide serialisation guard. Hold the returned guard for
+/// the whole test body:
+///
+/// ```ignore
+/// let _guard = common::serial_guard();
+/// ```
+pub fn serial_guard() -> MutexGuard<'static, ()> {
+    GUARD.lock()
+}

@@ -17,12 +17,8 @@ use hammer::core::machine::ClientMachine;
 use hammer::core::retry::RetryPolicy;
 use hammer::net::{FaultPlan, LinkConfig, SimClock, SimNetwork};
 use hammer::workload::{ControlSequence, WorkloadConfig};
-use parking_lot::Mutex;
 
-/// Chain simulations are timing-sensitive; on small CI hosts running them
-/// concurrently within one test binary starves the simulator threads, so
-/// the tests serialise on this guard (the cross_chain.rs convention).
-static GUARD: Mutex<()> = Mutex::new(());
+mod common;
 
 /// Runs SmallBank on Neuchain with the given plan and retry policy:
 /// `rate` transactions per slice for `slices` slices of `slice` each.
@@ -125,7 +121,7 @@ fn fault_activity(report: &EvalReport) -> Result<(), String> {
 
 #[test]
 fn crash_restart_accounting_identity() {
-    let _guard = GUARD.lock();
+    let _guard = common::serial_guard();
     let run = || {
         run_neuchain(
             Some(crash_plan(Duration::from_secs(1), Duration::from_secs(4))),
@@ -150,7 +146,7 @@ fn crash_restart_accounting_identity() {
 
 #[test]
 fn no_fault_plan_is_inert() {
-    let _guard = GUARD.lock();
+    let _guard = common::serial_guard();
     let report = run_neuchain(
         None,
         RetryPolicy::standard(),
@@ -168,7 +164,7 @@ fn no_fault_plan_is_inert() {
 
 #[test]
 fn budget_exhaustion_drops_transactions() {
-    let _guard = GUARD.lock();
+    let _guard = common::serial_guard();
     // The whole run is inside the outage and backoff is tiny, so every
     // transaction burns its full attempt budget (2 retries) and is
     // dropped — never expired, never committed. Skew-resistant: the
@@ -205,7 +201,7 @@ fn budget_exhaustion_drops_transactions() {
 
 #[test]
 fn deadline_clamp_expires_transactions() {
-    let _guard = GUARD.lock();
+    let _guard = common::serial_guard();
     // Ample attempt budget but backoff pauses that overrun the 500 ms
     // deadline after one retry: every transaction expires instead of
     // exhausting its budget.

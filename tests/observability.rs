@@ -13,12 +13,8 @@ use hammer::core::retry::RetryPolicy;
 use hammer::net::{FaultPlan, LinkConfig, SimClock, SimNetwork};
 use hammer::obs::{parse_prometheus, render_dashboard, EventKind, Obs, Stage};
 use hammer::workload::{ControlSequence, WorkloadConfig};
-use parking_lot::Mutex;
 
-/// Chain simulations are timing-sensitive; on small CI hosts running them
-/// concurrently within one test binary starves the simulator threads, so
-/// the tests serialise on this guard (the cross_chain.rs convention).
-static GUARD: Mutex<()> = Mutex::new(());
+mod common;
 
 /// Runs SmallBank on Neuchain with observability installed (unless
 /// `obs` is `None`) and an optional fault plan.
@@ -59,7 +55,7 @@ fn run_neuchain(
 
 #[test]
 fn instrumented_run_produces_spans_metrics_and_exposition() {
-    let _guard = GUARD.lock();
+    let _guard = common::serial_guard();
     let (report, obs) = run_neuchain(Some(Obs::new()), None, RetryPolicy::disabled(), 200);
     assert!(obs.enabled());
     assert!(report.committed > 150, "committed = {}", report.committed);
@@ -118,7 +114,7 @@ fn instrumented_run_produces_spans_metrics_and_exposition() {
 
 #[test]
 fn fault_plan_transitions_are_journaled() {
-    let _guard = GUARD.lock();
+    let _guard = common::serial_guard();
     // Crash the ingress gate for [2 s, 4 s) of a 4-slice run: the driver's
     // monitor polls the plan and must journal the enter and exit edges.
     let plan = FaultPlan::new().crash(
@@ -149,7 +145,7 @@ fn fault_plan_transitions_are_journaled() {
 
 #[test]
 fn uninstrumented_run_records_nothing() {
-    let _guard = GUARD.lock();
+    let _guard = common::serial_guard();
     let (_, obs) = run_neuchain(None, None, RetryPolicy::disabled(), 100);
     assert!(!obs.enabled());
     assert_eq!(obs.spans().histogram(Stage::Signed).count(), 0);

@@ -13,9 +13,8 @@ use hammer::core::signer::{sign_async, sign_pipelined, sign_serial};
 use hammer::crypto::sig::SigParams;
 use hammer::crypto::Keypair;
 use hammer::workload::{ControlSequence, SmallBankGenerator, WorkloadConfig};
-use parking_lot::Mutex;
 
-static GUARD: Mutex<()> = Mutex::new(());
+mod common;
 
 fn batch(n: usize) -> Vec<Transaction> {
     SmallBankGenerator::new(WorkloadConfig {
@@ -28,7 +27,7 @@ fn batch(n: usize) -> Vec<Transaction> {
 
 #[test]
 fn all_strategies_produce_identical_signatures() {
-    let _guard = GUARD.lock();
+    let _guard = common::serial_guard();
     let keypair = Keypair::from_seed(3);
     let params = SigParams::fast();
     let n = 500;
@@ -48,7 +47,7 @@ fn all_strategies_produce_identical_signatures() {
 
 #[test]
 fn evaluations_commit_the_same_set_under_every_strategy() {
-    let _guard = GUARD.lock();
+    let _guard = common::serial_guard();
     let mut committed_sets: Vec<HashSet<u64>> = Vec::new();
     for signing in [
         SigningStrategy::Serial,
