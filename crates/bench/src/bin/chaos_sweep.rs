@@ -1,0 +1,132 @@
+//! **Chaos sweep** — every registered backend under N seeded randomized
+//! fault schedules, judged by the run-level invariant oracle.
+//!
+//! Each (backend, seed) cell deploys a fresh simulated chain, generates a
+//! [`hammer_net::ChaosSchedule`] from the seed over the chain's own
+//! ingress/sealer topology, runs SmallBank through the resilient
+//! submission path with the stall watchdog armed, and then checks the
+//! oracle's invariants: the accounting identity, fault-window attribution
+//! exactness, journal monotonicity, no stall, and no leaked threads
+//! (see `hammer_core::chaos`).
+//!
+//! ```text
+//! cargo run --release --bin chaos_sweep -- [--seeds N] [--slices N]
+//! ```
+//!
+//! Emits a JSON verdict matrix to `target/bench-results/chaos_sweep.json`
+//! and a final summary line (`chaos sweep: R runs, V invariant
+//! violations`) that CI greps for `0 invariant violations`.
+
+use std::fmt::Write as _;
+
+use hammer_core::chaos::{run_chaos_case, ChaosCase, ChaosVerdict};
+use hammer_store::report::render_table;
+
+/// (backend, rate tx/s, speedup) — the fault-sweep operating points:
+/// moderate rates well under capacity so the injected faults, not
+/// saturation, shape the outcome. The registry's Ethereum keeps its 15 s
+/// PoW blocks; the 30 s stall budget clears that comfortably.
+const TARGETS: [(&str, u32, f64); 4] = [
+    ("ethereum-sim", 40, 100.0),
+    ("fabric-sim", 150, 100.0),
+    ("meepo-sim", 300, 50.0),
+    ("neuchain-sim", 500, 100.0),
+];
+
+fn usage() -> ! {
+    eprintln!("usage: chaos_sweep [--seeds N] [--slices N]");
+    std::process::exit(2);
+}
+
+fn parse_args() -> (u64, usize) {
+    let mut seeds = 10u64;
+    let mut slices = 10usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--seeds" => seeds = value().parse().unwrap_or_else(|_| usage()),
+            "--slices" => slices = value().parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+    if seeds == 0 || slices == 0 {
+        usage();
+    }
+    (seeds, slices)
+}
+
+fn main() {
+    let (seeds, slices) = parse_args();
+    println!(
+        "=== Chaos sweep: {seeds} seeded schedules x {} backends ===\n",
+        TARGETS.len()
+    );
+
+    let mut rows = Vec::new();
+    let mut verdicts: Vec<ChaosVerdict> = Vec::new();
+    for (backend, rate, speedup) in TARGETS {
+        for seed in 1..=seeds {
+            eprintln!("running {backend} seed {seed} at {rate} tx/s ({speedup}x)...");
+            let case = ChaosCase {
+                rate,
+                speedup,
+                slices,
+                ..ChaosCase::new(backend, seed)
+            };
+            let verdict = run_chaos_case(&case);
+            rows.push(vec![
+                backend.to_owned(),
+                seed.to_string(),
+                if verdict.stalled { "yes" } else { "no" }.to_owned(),
+                if verdict.passed() { "pass" } else { "FAIL" }.to_owned(),
+                verdict
+                    .violations()
+                    .iter()
+                    .map(|c| c.name)
+                    .collect::<Vec<_>>()
+                    .join(","),
+            ]);
+            for violation in verdict.violations() {
+                eprintln!("  VIOLATION {}: {}", violation.name, violation.detail);
+            }
+            verdicts.push(verdict);
+        }
+    }
+
+    println!(
+        "\n{}",
+        render_table(
+            &["backend", "seed", "stalled", "verdict", "violations"],
+            &rows
+        )
+    );
+
+    let mut json = String::from("{\n  \"runs\": [\n");
+    for (i, verdict) in verdicts.iter().enumerate() {
+        if i > 0 {
+            json.push_str(",\n");
+        }
+        let _ = write!(json, "    {}", verdict.to_json());
+    }
+    json.push_str("\n  ]\n}\n");
+    let dir = std::path::Path::new("target/bench-results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create {dir:?}: {e}");
+    } else {
+        let path = dir.join("chaos_sweep.json");
+        match std::fs::write(&path, &json) {
+            Ok(()) => println!("[saved {}]", path.display()),
+            Err(e) => eprintln!("warning: cannot write {path:?}: {e}"),
+        }
+    }
+
+    let violations: usize = verdicts.iter().map(|v| v.violations().len()).sum();
+    println!(
+        "chaos sweep: {} runs, {violations} invariant violations",
+        verdicts.len()
+    );
+    if violations > 0 {
+        std::process::exit(1);
+    }
+}

@@ -716,6 +716,15 @@ pub trait SimChain: BlockchainClient {
 
     /// Verifies every shard's hash chain.
     fn verify_ledgers(&self) -> Result<(), LedgerError>;
+
+    /// A monotone progress probe for stall watchdogs: total sealed
+    /// blocks/epochs across shards. A chain that keeps accepting
+    /// submissions while this counter stops advancing is stalled, not
+    /// merely slow. The default (always `0`) makes the probe inert for
+    /// chains that do not implement it.
+    fn progress_mark(&self) -> u64 {
+        0
+    }
 }
 
 impl<P: ConsensusPolicy> SimChain for ChainNode<P> {
@@ -754,6 +763,10 @@ impl<P: ConsensusPolicy> SimChain for ChainNode<P> {
             shard.ledger.read().verify_chain()?;
         }
         Ok(())
+    }
+
+    fn progress_mark(&self) -> u64 {
+        self.kernel.stats().blocks
     }
 }
 
@@ -829,6 +842,10 @@ macro_rules! impl_sim_handle {
 
             fn verify_ledgers(&self) -> Result<(), $crate::ledger::LedgerError> {
                 $crate::kernel::SimChain::verify_ledgers(&*self.node)
+            }
+
+            fn progress_mark(&self) -> u64 {
+                $crate::kernel::SimChain::progress_mark(&*self.node)
             }
         }
 

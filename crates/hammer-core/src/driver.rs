@@ -33,6 +33,7 @@ use std::time::Duration;
 
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError};
 use hammer_chain::client::{BlockchainClient, ChainError, ErrorKind};
+use hammer_chain::kernel::SimChain;
 use hammer_chain::types::{SignedTransaction, Transaction, TxId, TxStatus};
 use hammer_crypto::sig::SigParams;
 use hammer_crypto::Keypair;
@@ -46,10 +47,11 @@ use hammer_workload::{
 use parking_lot::Mutex;
 
 use crate::baseline::BatchQueue;
+use crate::checkpoint::{checkpoint_key, DriverCheckpoint, RecoveryConfig};
 use crate::deploy::Deployment;
 use crate::index::{TxRecord, TxTable};
 use crate::machine::ClientMachine;
-use crate::retry::RetryPolicy;
+use crate::retry::{RetryDecision, RetryPolicy};
 use crate::signer;
 use crate::sync::{run_merger, StatusRecord, StatusSyncer};
 use hammer_store::table::RowOutcome;
@@ -80,44 +82,49 @@ pub enum SigningStrategy {
 
 /// Driver configuration.
 ///
-/// Construct with [`EvalConfig::builder`], which validates as it builds.
-/// The fields remain public for one deprecation cycle so existing
-/// struct-literal construction (`EvalConfig { .., ..Default::default() }`)
-/// keeps compiling, but new code should prefer the builder — a future
-/// release will make the fields private.
+/// Construct with [`EvalConfig::builder`], the only way in: the builder
+/// validates as it builds, so an invalid combination fails at
+/// construction instead of deep inside [`Evaluation::run`]. The fields
+/// are crate-private — the deprecation cycle that kept them public for
+/// struct-literal construction is over.
 #[derive(Clone, Debug)]
 pub struct EvalConfig {
     /// Commitment-observation mode.
-    pub mode: TestingMode,
+    pub(crate) mode: TestingMode,
     /// Signing strategy.
-    pub signing: SigningStrategy,
+    pub(crate) signing: SigningStrategy,
     /// Signer thread-pool size for the async/pipelined strategies.
-    pub signer_threads: usize,
+    pub(crate) signer_threads: usize,
     /// The modelled client machine.
-    pub machine: ClientMachine,
+    pub(crate) machine: ClientMachine,
     /// Signature scheme parameters (shared with the SUT).
-    pub sig_params: SigParams,
+    pub(crate) sig_params: SigParams,
     /// Block-polling interval in simulated time (ξ1: large intervals skew
     /// batch-baseline latency; small intervals burn CPU).
-    pub poll_interval: Duration,
+    pub(crate) poll_interval: Duration,
     /// How long (simulated) to keep monitoring after the last submission
     /// before declaring the stragglers timed out.
-    pub drain_timeout: Duration,
+    pub(crate) drain_timeout: Duration,
     /// Interactive mode: listener CPU cost per commit event.
-    pub listen_cost: Duration,
+    pub(crate) listen_cost: Duration,
     /// Interactive mode: how many undelivered commit events the client
     /// SDK buffers before the transport drops them (the paper's "loss of
     /// response information ... under heavy load").
-    pub event_buffer: usize,
+    pub(crate) event_buffer: usize,
     /// Route statuses through the Fig. 2 Redis→MySQL pipeline
     /// ([`crate::sync`]) instead of writing the Performance table
     /// directly at the end of the run.
-    pub live_sync: bool,
+    pub(crate) live_sync: bool,
     /// Resilient-submission policy: how workers retry transient failures
     /// (crashed/blackholed nodes, mempool backpressure). The default is
     /// [`RetryPolicy::disabled`], which reproduces the pre-fault driver
     /// exactly: one attempt per transaction.
-    pub retry: RetryPolicy,
+    pub(crate) retry: RetryPolicy,
+    /// Stall watchdog: abort the run gracefully when no progress (no
+    /// submissions, retries, completions, or sealed blocks) is observed
+    /// for this much simulated time while transactions are pending.
+    /// `None` (the default) disables the watchdog.
+    pub(crate) stall_budget: Option<Duration>,
 }
 
 impl Default for EvalConfig {
@@ -134,6 +141,7 @@ impl Default for EvalConfig {
             event_buffer: 1_000,
             live_sync: false,
             retry: RetryPolicy::disabled(),
+            stall_budget: None,
         }
     }
 }
@@ -226,6 +234,17 @@ impl EvalConfigBuilder {
         self
     }
 
+    /// Enables the stall watchdog: the run aborts gracefully (with a
+    /// complete report, `stalled` set) when no progress is observed for
+    /// `budget` of simulated time while transactions are pending. Size
+    /// the budget comfortably above the chain's block interval and the
+    /// longest scripted fault window, or healthy-but-slow runs will be
+    /// declared stalled.
+    pub fn stall_budget(mut self, budget: Duration) -> Self {
+        self.config.stall_budget = Some(budget);
+        self
+    }
+
     /// Validates and produces the configuration.
     pub fn build(self) -> Result<EvalConfig, EvalError> {
         let config = self.config;
@@ -237,6 +256,11 @@ impl EvalConfigBuilder {
         if config.poll_interval.is_zero() {
             return Err(EvalError::InvalidConfig(
                 "poll_interval must be positive".to_owned(),
+            ));
+        }
+        if config.stall_budget.is_some_and(|b| b.is_zero()) {
+            return Err(EvalError::InvalidConfig(
+                "stall_budget must be positive".to_owned(),
             ));
         }
         config
@@ -255,6 +279,11 @@ pub enum EvalError {
     InvalidConfig(String),
     /// The SUT failed.
     Chain(ChainError),
+    /// The driver was killed mid-run by [`RecoveryConfig::kill_at`]. The
+    /// last periodic checkpoint survives in the recovery store; calling
+    /// [`Evaluation::run_recoverable`] again with the same run id resumes
+    /// from it.
+    Killed,
 }
 
 impl std::fmt::Display for EvalError {
@@ -262,6 +291,7 @@ impl std::fmt::Display for EvalError {
         match self {
             EvalError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             EvalError::Chain(e) => write!(f, "chain error: {e}"),
+            EvalError::Killed => write!(f, "driver killed mid-run (checkpoint retained)"),
         }
     }
 }
@@ -300,7 +330,7 @@ pub struct EvalReport {
     /// any error when retrying is disabled).
     pub rejected: u64,
     /// Extra submission attempts made by the retry policy (0 unless
-    /// [`EvalConfig::retry`] is enabled and transient faults occurred).
+    /// [`EvalConfigBuilder::retry`] is set and transient faults occurred).
     pub retried: u64,
     /// Abandoned after exhausting the retry budget, never accepted.
     pub dropped: usize,
@@ -328,7 +358,7 @@ pub struct EvalReport {
     /// Wall-clock duration of the run.
     pub wall_time: Duration,
     /// Rows that travelled the Fig. 2 KV→table pipeline (0 unless
-    /// [`EvalConfig::live_sync`] is on).
+    /// [`EvalConfigBuilder::live_sync`] is on).
     pub synced_rows: usize,
     /// Task-processing index statistics (Bloom rejections, probe steps);
     /// `None` for the batch baseline.
@@ -336,6 +366,11 @@ pub struct EvalReport {
     /// Per-fault-window TPS breakdown; empty when the deployment's
     /// network has no fault plan installed.
     pub fault_windows: Vec<FaultWindowStats>,
+    /// Whether the stall watchdog aborted the run: no progress for
+    /// [`EvalConfigBuilder::stall_budget`] of simulated time while
+    /// transactions were pending. The report is still complete — the
+    /// in-flight stragglers are accounted as timed out.
+    pub stalled: bool,
     /// The raw per-transaction records (for audits, §V-C).
     pub records: Vec<TxRecord>,
 }
@@ -404,7 +439,9 @@ impl EvalReport {
             push_f64_field(&mut out, "tps", w.tps);
             close_object(&mut out);
         }
-        out.push(']');
+        out.push_str("],");
+        out.push_str("\"stalled\":");
+        out.push_str(if self.stalled { "true" } else { "false" });
         out.push('}');
         out
     }
@@ -508,6 +545,10 @@ trait Tracker: Send {
     fn index_stats(&self) -> Option<crate::index::IndexStats> {
         None
     }
+    /// A point-in-time copy of every record, pending included, for
+    /// checkpointing. Taken under the tracker lock, so the copy is
+    /// consistent with whatever block heights the caller has scanned.
+    fn snapshot_records(&self) -> Vec<TxRecord>;
     fn into_records(self: Box<Self>) -> Vec<TxRecord>;
 }
 
@@ -531,6 +572,9 @@ impl Tracker for TxTable {
     fn index_stats(&self) -> Option<crate::index::IndexStats> {
         Some(self.stats())
     }
+    fn snapshot_records(&self) -> Vec<TxRecord> {
+        self.records().to_vec()
+    }
     fn into_records(self: Box<Self>) -> Vec<TxRecord> {
         self.records().to_vec()
     }
@@ -553,9 +597,120 @@ impl Tracker for BatchQueue {
     fn pending(&self) -> usize {
         BatchQueue::pending(self)
     }
+    /// Completed records only: the unconfirmed queue is not included, so
+    /// the batch baseline does not support checkpoint/resume (recoverable
+    /// runs are restricted to task processing).
+    fn snapshot_records(&self) -> Vec<TxRecord> {
+        self.records().to_vec()
+    }
     fn into_records(mut self: Box<Self>) -> Vec<TxRecord> {
         BatchQueue::timeout_pending(&mut self);
         self.records().to_vec()
+    }
+}
+
+/// Internal: the stall watchdog the monitors consult once per cycle. A
+/// run is stalled when its activity signature — submissions, retries,
+/// pending count, and the chain's sealed-block progress mark — has not
+/// changed for the configured budget of simulated time while work is
+/// still pending. On detection it journals a [`hammer_obs::EventKind::Stalled`]
+/// event and raises the abort flag so the whole run winds down with a
+/// complete report instead of hanging until the drain deadline.
+struct StallWatchdog<'a> {
+    budget: Duration,
+    probe: Arc<dyn SimChain>,
+    submitted: &'a AtomicU64,
+    retried: &'a AtomicU64,
+    abort: &'a AtomicBool,
+    stalled: &'a AtomicBool,
+    last_sig: (u64, u64, u64, u64),
+    last_change: Duration,
+}
+
+impl StallWatchdog<'_> {
+    /// Returns `true` when the run is stalled and the monitor must exit.
+    fn check(&mut self, now: Duration, pending: usize, journal: &hammer_obs::Journal) -> bool {
+        let sig = (
+            self.submitted.load(Ordering::Relaxed),
+            self.retried.load(Ordering::Relaxed),
+            pending as u64,
+            self.probe.progress_mark(),
+        );
+        if sig != self.last_sig || pending == 0 {
+            self.last_sig = sig;
+            self.last_change = now;
+            return false;
+        }
+        if now.saturating_sub(self.last_change) < self.budget {
+            return false;
+        }
+        journal.stalled(now, "driver", self.budget, pending as u64);
+        self.stalled.store(true, Ordering::Release);
+        self.abort.store(true, Ordering::Release);
+        true
+    }
+}
+
+/// Internal: periodic checkpointing plus the cooperative kill switch,
+/// owned by the polling monitor of a recoverable run.
+struct CheckpointCtx<'a> {
+    store: Arc<KvStore>,
+    key: String,
+    interval: Duration,
+    next_at: Duration,
+    kill_at: Option<Duration>,
+    killed: &'a AtomicBool,
+    abort: &'a AtomicBool,
+    retried: &'a AtomicU64,
+    rejected_ids: &'a Mutex<HashSet<TxId>>,
+    workload_seed: u64,
+    total: u64,
+}
+
+impl CheckpointCtx<'_> {
+    /// Returns `true` when the kill switch fired: the monitor must exit
+    /// *without* writing a further checkpoint — everything after the last
+    /// periodic snapshot is lost, exactly as in a real crash.
+    fn observe(
+        &mut self,
+        now: Duration,
+        tracker: &Mutex<Box<dyn Tracker>>,
+        last_seen: &[u64],
+        shard_commits: &Mutex<std::collections::BTreeMap<u32, usize>>,
+    ) -> bool {
+        if let Some(kill_at) = self.kill_at {
+            if now >= kill_at {
+                self.killed.store(true, Ordering::Release);
+                self.abort.store(true, Ordering::Release);
+                return true;
+            }
+        }
+        if now < self.next_at {
+            return false;
+        }
+        while self.next_at <= now {
+            self.next_at += self.interval;
+        }
+        // Tracker first, rejected ids second: workers insert into the
+        // rejected-id set *before* completing the record, so every
+        // rejection visible in the record snapshot has its id here.
+        let records = tracker.lock().snapshot_records();
+        let rejected_ids: Vec<TxId> = self.rejected_ids.lock().iter().copied().collect();
+        let checkpoint = DriverCheckpoint {
+            workload_seed: self.workload_seed,
+            total: self.total,
+            retried: self.retried.load(Ordering::Relaxed),
+            last_seen: last_seen.to_vec(),
+            shard_commits: shard_commits
+                .lock()
+                .iter()
+                .map(|(shard, n)| (*shard, *n as u64))
+                .collect(),
+            rejected_ids,
+            records,
+        };
+        self.store.set(&self.key, checkpoint.to_bytes());
+        false
     }
 }
 
@@ -583,6 +738,56 @@ impl Evaluation {
         workload: &WorkloadConfig,
         control: &ControlSequence,
     ) -> Result<EvalReport, EvalError> {
+        self.run_inner(deployment, workload, control, None)
+    }
+
+    /// Runs like [`Evaluation::run`], but periodically snapshots the
+    /// driver's state (tracker records, counters, monitor heights) into
+    /// `recovery.store`. If a checkpoint for `recovery.run_id` already
+    /// exists there, the run *resumes* from it instead of starting over:
+    /// checkpointed transactions are filtered out of the signed stream,
+    /// the tracker and counters are restored, and the monitor rescans the
+    /// chain from the checkpointed block heights — so a driver killed
+    /// mid-run picks up where its last snapshot left off and the final
+    /// report accounts for every transaction exactly once. The checkpoint
+    /// is deleted when the run completes.
+    ///
+    /// Restricted to [`TestingMode::TaskProcessing`] without live sync:
+    /// the batch baseline's unconfirmed queue and the interactive mode's
+    /// event subscription are not snapshot-able, and the KV→table
+    /// pipeline would double-publish restored rows.
+    pub fn run_recoverable(
+        &self,
+        deployment: &Deployment,
+        workload: &WorkloadConfig,
+        control: &ControlSequence,
+        recovery: &RecoveryConfig,
+    ) -> Result<EvalReport, EvalError> {
+        if self.config.mode != TestingMode::TaskProcessing {
+            return Err(EvalError::InvalidConfig(
+                "recoverable runs require TestingMode::TaskProcessing".to_owned(),
+            ));
+        }
+        if self.config.live_sync {
+            return Err(EvalError::InvalidConfig(
+                "recoverable runs cannot use live_sync".to_owned(),
+            ));
+        }
+        if recovery.interval.is_zero() {
+            return Err(EvalError::InvalidConfig(
+                "checkpoint interval must be positive".to_owned(),
+            ));
+        }
+        self.run_inner(deployment, workload, control, Some(recovery))
+    }
+
+    fn run_inner(
+        &self,
+        deployment: &Deployment,
+        workload: &WorkloadConfig,
+        control: &ControlSequence,
+        recovery: Option<&RecoveryConfig>,
+    ) -> Result<EvalReport, EvalError> {
         let wall_start = std::time::Instant::now();
         self.config
             .machine
@@ -599,6 +804,11 @@ impl Evaluation {
         if self.config.poll_interval.is_zero() {
             return Err(EvalError::InvalidConfig(
                 "poll_interval must be positive".to_owned(),
+            ));
+        }
+        if self.config.stall_budget.is_some_and(|b| b.is_zero()) {
+            return Err(EvalError::InvalidConfig(
+                "stall_budget must be positive".to_owned(),
             ));
         }
         self.config
@@ -625,6 +835,28 @@ impl Evaluation {
         let chain = deployment.client();
         let clock = deployment.clock().clone();
         let dobs = DriverObs::new(deployment.net().obs());
+
+        // Crash recovery: adopt any prior checkpoint for this run id. A
+        // checkpoint taken under a different workload or control sequence
+        // would resume into a different run — refuse it.
+        let checkpoint = recovery.and_then(|r| DriverCheckpoint::load(&r.store, &r.run_id));
+        if let Some(cp) = &checkpoint {
+            if cp.workload_seed != workload.seed || cp.total != control.total() {
+                return Err(EvalError::InvalidConfig(format!(
+                    "checkpoint was taken under a different run (seed {} total {}, \
+                     this run has seed {} total {})",
+                    cp.workload_seed,
+                    cp.total,
+                    workload.seed,
+                    control.total()
+                )));
+            }
+            if cp.last_seen.len() != chain.architecture().shard_count() as usize {
+                return Err(EvalError::InvalidConfig(
+                    "checkpoint was taken against a chain with a different shard count".to_owned(),
+                ));
+            }
+        }
 
         // ---- Preparation (Fig. 3, steps 1-3) ----
         let total = control.total() as usize;
@@ -709,6 +941,12 @@ impl Evaluation {
         let rejected_ids: Mutex<HashSet<TxId>> = Mutex::new(HashSet::new());
         let done_submitting = AtomicBool::new(false);
         let drain_deadline: Mutex<Option<Duration>> = Mutex::new(None);
+        // Graceful-abort plumbing: the stall watchdog and the kill switch
+        // raise `abort`; the pacer and the workers poll it and wind down,
+        // leaving in-flight transactions to be reported as timed out.
+        let abort = AtomicBool::new(false);
+        let stalled = AtomicBool::new(false);
+        let killed = AtomicBool::new(false);
 
         // Interactive mode must subscribe before anything commits.
         let events_rx = match self.config.mode {
@@ -748,6 +986,82 @@ impl Evaluation {
         let shard_commits: Arc<Mutex<std::collections::BTreeMap<u32, usize>>> =
             Arc::new(Mutex::new(std::collections::BTreeMap::new()));
 
+        // Resume: replay the checkpointed records into the fresh tracker
+        // and restore the counters. Terminal records are settled as they
+        // were; pending ones stay pending — workers are never interrupted
+        // mid-transaction, so every checkpointed record was already handed
+        // to the chain, and the monitor's rescan (from the checkpointed
+        // heights) re-observes their commits. `submitted` is derived from
+        // the record count rather than checkpointed separately: the two
+        // are updated by workers without a common lock, so only the
+        // records are authoritative.
+        let mut initial_last_seen: Option<Vec<u64>> = None;
+        let mut known_ids: HashSet<TxId> = HashSet::new();
+        if let Some(cp) = &checkpoint {
+            let mut tracker = tracker.lock();
+            let restored_rejected: HashSet<TxId> = cp.rejected_ids.iter().copied().collect();
+            for record in &cp.records {
+                known_ids.insert(record.tx_id);
+                tracker.insert(
+                    record.tx_id,
+                    record.client_id,
+                    record.server_id,
+                    record.start,
+                );
+                let end = record.end.unwrap_or(record.start);
+                match record.status {
+                    TxStatus::Pending if restored_rejected.contains(&record.tx_id) => {
+                        // The rejection landed in the id set but its
+                        // record completion was lost to the crash.
+                        let _ = tracker.complete(&record.tx_id, record.start, false);
+                    }
+                    TxStatus::Pending => {}
+                    TxStatus::Committed => {
+                        let _ = tracker.complete(&record.tx_id, end, true);
+                    }
+                    TxStatus::Failed => {
+                        let _ = tracker.complete(&record.tx_id, end, false);
+                    }
+                    status @ (TxStatus::TimedOut | TxStatus::Dropped | TxStatus::Expired) => {
+                        let _ = tracker.abandon(&record.tx_id, end, status);
+                    }
+                }
+            }
+            submitted.store(cp.records.len() as u64, Ordering::Relaxed);
+            rejected.store(cp.rejected_ids.len() as u64, Ordering::Relaxed);
+            retried.store(cp.retried, Ordering::Relaxed);
+            *rejected_ids.lock() = restored_rejected;
+            *shard_commits.lock() = cp
+                .shard_commits
+                .iter()
+                .map(|(shard, n)| (*shard, *n as usize))
+                .collect();
+            initial_last_seen = Some(cp.last_seen.clone());
+        }
+        // Transactions the checkpoint already owns are filtered out of
+        // the signed stream so the resumed workers only process the rest.
+        let signed_rx = if checkpoint.is_some() {
+            let known = std::mem::take(&mut known_ids);
+            let upstream = signed_rx;
+            let (filtered_tx, filtered_rx) = bounded(1024);
+            std::thread::Builder::new()
+                .name("hammer-resume-filter".to_owned())
+                .spawn(move || {
+                    for tx in upstream.iter() {
+                        if known.contains(&tx.id) {
+                            continue;
+                        }
+                        if filtered_tx.send(tx).is_err() {
+                            return;
+                        }
+                    }
+                })
+                .expect("spawn resume filter");
+            filtered_rx
+        } else {
+            signed_rx
+        };
+
         // Per-slice budget tokens.
         let (token_tx, token_rx) = bounded::<()>((control.peak() as usize).max(1) * 2 + 16);
 
@@ -755,8 +1069,14 @@ impl Evaluation {
             // Pacer: releases each slice's budget on the simulated clock.
             let pacer_clock = clock.clone();
             let pacer_control = control.clone();
+            let pacer_abort = &abort;
             scope.spawn(move || {
                 for i in 0..pacer_control.len() {
+                    // On abort, returning drops the sender, which wakes
+                    // any worker blocked on the token stream.
+                    if pacer_abort.load(Ordering::Acquire) {
+                        return;
+                    }
                     for _ in 0..pacer_control.budget(i) {
                         if token_tx.send(()).is_err() {
                             return;
@@ -783,6 +1103,7 @@ impl Evaluation {
                 let rejected_ids = &rejected_ids;
                 let machine = self.config.machine;
                 let dobs = dobs.clone();
+                let abort = &abort;
                 worker_handles.push(scope.spawn(move || {
                     // Pace by absolute schedule: each worker may submit at
                     // most once per submit_delay of simulated time. An
@@ -790,6 +1111,9 @@ impl Evaluation {
                     // deschedules the thread (single-core hosts).
                     let mut next_allowed = clock.now();
                     loop {
+                        if abort.load(Ordering::Acquire) {
+                            return; // stall watchdog or kill switch fired
+                        }
                         if token_rx.recv().is_err() {
                             return; // control sequence exhausted
                         }
@@ -831,6 +1155,11 @@ impl Evaluation {
                         let give_up_at = start + retry_deadline;
                         let mut attempt = 0u32;
                         loop {
+                            if abort.load(Ordering::Acquire) {
+                                // Graceful abort mid-retry: the record
+                                // stays pending and reports as timed out.
+                                return;
+                            }
                             match chain.submit(tx.clone()) {
                                 Ok(_) => {
                                     if dobs.on() {
@@ -855,41 +1184,53 @@ impl Evaluation {
                                             &e.to_string(),
                                         );
                                     }
-                                    if attempt >= retry.max_retries {
-                                        let _ = tracker.lock().abandon(
-                                            &id,
-                                            clock.now(),
-                                            TxStatus::Dropped,
-                                        );
-                                        dobs.obs.journal().retry_exhausted(
-                                            clock.now(),
-                                            &format!("client-{client_id}"),
-                                            "dropped",
-                                            attempt as u64,
-                                        );
-                                        break;
-                                    }
-                                    let pause = retry.backoff(attempt, id.fingerprint());
-                                    if clock.now() + pause >= give_up_at {
-                                        let _ = tracker.lock().abandon(
-                                            &id,
-                                            clock.now(),
-                                            TxStatus::Expired,
-                                        );
-                                        dobs.obs.journal().retry_exhausted(
-                                            clock.now(),
-                                            &format!("client-{client_id}"),
-                                            "expired",
-                                            attempt as u64,
-                                        );
-                                        break;
-                                    }
-                                    clock.sleep(pause);
-                                    attempt += 1;
-                                    retried.fetch_add(1, Ordering::Relaxed);
-                                    dobs.retried.inc();
-                                    if dobs.on() {
-                                        dobs.obs.spans().record(Stage::Retried, pause);
+                                    // All retry arithmetic goes through
+                                    // the policy's pure decision function,
+                                    // so tests can replay the exact worker
+                                    // behaviour without a chain.
+                                    match retry.decide(
+                                        attempt,
+                                        id.fingerprint(),
+                                        clock.now(),
+                                        give_up_at,
+                                    ) {
+                                        RetryDecision::Drop => {
+                                            let _ = tracker.lock().abandon(
+                                                &id,
+                                                clock.now(),
+                                                TxStatus::Dropped,
+                                            );
+                                            dobs.obs.journal().retry_exhausted(
+                                                clock.now(),
+                                                &format!("client-{client_id}"),
+                                                "dropped",
+                                                attempt as u64,
+                                            );
+                                            break;
+                                        }
+                                        RetryDecision::Expire => {
+                                            let _ = tracker.lock().abandon(
+                                                &id,
+                                                clock.now(),
+                                                TxStatus::Expired,
+                                            );
+                                            dobs.obs.journal().retry_exhausted(
+                                                clock.now(),
+                                                &format!("client-{client_id}"),
+                                                "expired",
+                                                attempt as u64,
+                                            );
+                                            break;
+                                        }
+                                        RetryDecision::Retry(pause) => {
+                                            clock.sleep(pause);
+                                            attempt += 1;
+                                            retried.fetch_add(1, Ordering::Relaxed);
+                                            dobs.retried.inc();
+                                            if dobs.on() {
+                                                dobs.obs.spans().record(Stage::Retried, pause);
+                                            }
+                                        }
                                     }
                                 }
                                 Err(_) => {
@@ -923,6 +1264,30 @@ impl Evaluation {
             // The monitor owns fault-transition journaling: it polls the
             // network's fault plan each cycle and journals enter/exit edges.
             let fault_observer = dobs.on().then(|| FaultObserver::new(deployment.net()));
+            let watchdog = self.config.stall_budget.map(|budget| StallWatchdog {
+                budget,
+                probe: Arc::clone(deployment.chain()),
+                submitted: &submitted,
+                retried: &retried,
+                abort: &abort,
+                stalled: &stalled,
+                last_sig: (0, 0, 0, 0),
+                last_change: clock.now(),
+            });
+            let checkpoint_ctx = recovery.map(|r| CheckpointCtx {
+                store: Arc::clone(&r.store),
+                key: checkpoint_key(&r.run_id),
+                interval: r.interval,
+                next_at: clock.now() + r.interval,
+                kill_at: r.kill_at,
+                killed: &killed,
+                abort: &abort,
+                retried: &retried,
+                rejected_ids: &rejected_ids,
+                workload_seed: workload.seed,
+                total: control.total(),
+            });
+            let monitor_last_seen = initial_last_seen.take();
             let monitor = scope.spawn(move || match mode {
                 TestingMode::Interactive => {
                     let rx = events_rx.expect("subscribed above");
@@ -940,6 +1305,7 @@ impl Evaluation {
                         monitor_shards,
                         monitor_dobs,
                         fault_observer,
+                        watchdog,
                     );
                 }
                 _ => {
@@ -955,6 +1321,9 @@ impl Evaluation {
                         monitor_shards,
                         monitor_dobs,
                         fault_observer,
+                        watchdog,
+                        checkpoint_ctx,
+                        monitor_last_seen,
                     );
                 }
             });
@@ -966,6 +1335,12 @@ impl Evaluation {
             done_submitting.store(true, Ordering::Release);
             monitor.join().expect("monitor panicked");
         });
+
+        if killed.load(Ordering::Acquire) {
+            // Simulated crash: no report. The last periodic checkpoint
+            // stays in the store for the next run_recoverable call.
+            return Err(EvalError::Killed);
+        }
 
         // ---- Report (Fig. 3, step 7) ----
         let tracker = Arc::try_unwrap(tracker)
@@ -1072,6 +1447,12 @@ impl Evaluation {
             last_end,
         );
 
+        // A recoverable run that reached its report is finished: a later
+        // run under the same id starts fresh.
+        if let Some(r) = recovery {
+            r.store.del(&checkpoint_key(&r.run_id));
+        }
+
         Ok(EvalReport {
             chain: chain_name,
             submitted: submitted.load(Ordering::Relaxed),
@@ -1092,6 +1473,7 @@ impl Evaluation {
             synced_rows,
             index_stats,
             fault_windows,
+            stalled: stalled.load(Ordering::Acquire),
             records,
         })
     }
@@ -1208,9 +1590,12 @@ fn polling_monitor(
     shard_commits: Arc<Mutex<std::collections::BTreeMap<u32, usize>>>,
     dobs: DriverObs,
     mut fault_observer: Option<FaultObserver>,
+    mut watchdog: Option<StallWatchdog<'_>>,
+    mut checkpoint: Option<CheckpointCtx<'_>>,
+    initial_last_seen: Option<Vec<u64>>,
 ) {
     let shards = chain.architecture().shard_count();
-    let mut last_seen = vec![0u64; shards as usize];
+    let mut last_seen = initial_last_seen.unwrap_or_else(|| vec![0u64; shards as usize]);
     // Set once the drain deadline has passed: one last full scan runs so
     // blocks committed during the final poll window still match before
     // the stragglers are declared timed out.
@@ -1273,6 +1658,17 @@ fn polling_monitor(
         if dobs.on() {
             dobs.pending.set(tracker.lock().pending() as u64);
         }
+        if let Some(ctx) = checkpoint.as_mut() {
+            if ctx.observe(clock.now(), &tracker, &last_seen, &shard_commits) {
+                return; // killed: exit without a further snapshot
+            }
+        }
+        if let Some(dog) = watchdog.as_mut() {
+            let pending = tracker.lock().pending();
+            if dog.check(clock.now(), pending, dobs.obs.journal()) {
+                return; // stalled: the abort flag winds the run down
+            }
+        }
         if done.load(Ordering::Acquire) {
             let pending = tracker.lock().pending();
             if pending == 0 {
@@ -1308,6 +1704,7 @@ fn interactive_monitor(
     shard_commits: Arc<Mutex<std::collections::BTreeMap<u32, usize>>>,
     dobs: DriverObs,
     mut fault_observer: Option<FaultObserver>,
+    mut watchdog: Option<StallWatchdog<'_>>,
 ) {
     // The listener time-shares the client machine with the submitters.
     let share = (active_threads.max(1) as f64 / machine.vcpus.max(1) as f64).max(1.0);
@@ -1363,6 +1760,12 @@ fn interactive_monitor(
         }
         if dobs.on() {
             dobs.pending.set(tracker.lock().pending() as u64);
+        }
+        if let Some(dog) = watchdog.as_mut() {
+            let pending = tracker.lock().pending();
+            if dog.check(clock.now(), pending, dobs.obs.journal()) {
+                return; // stalled: the abort flag winds the run down
+            }
         }
         if done.load(Ordering::Acquire) {
             let pending = tracker.lock().pending();

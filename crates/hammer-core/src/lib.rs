@@ -53,6 +53,8 @@
 
 pub mod baseline;
 pub mod bloom;
+pub mod chaos;
+pub mod checkpoint;
 pub mod deploy;
 pub mod driver;
 pub mod index;
@@ -64,6 +66,8 @@ pub mod sync;
 
 pub use baseline::BatchQueue;
 pub use bloom::BloomFilter;
+pub use chaos::{ChaosCase, ChaosVerdict, InvariantCheck};
+pub use checkpoint::{DriverCheckpoint, RecoveryConfig};
 pub use deploy::{BackendOptions, BackendRegistry, ChainSpec, Deployment, UnknownBackend};
 pub use driver::{
     EvalConfig, EvalConfigBuilder, EvalReport, Evaluation, FaultWindowStats, TestingMode,

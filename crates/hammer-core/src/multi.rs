@@ -113,12 +113,12 @@ mod tests {
     use std::time::Duration;
 
     fn fast_config() -> EvalConfig {
-        EvalConfig {
-            machine: ClientMachine::unconstrained(),
-            poll_interval: Duration::from_millis(20),
-            drain_timeout: Duration::from_secs(60),
-            ..EvalConfig::default()
-        }
+        EvalConfig::builder()
+            .machine(ClientMachine::unconstrained())
+            .poll_interval(Duration::from_millis(20))
+            .drain_timeout(Duration::from_secs(60))
+            .build()
+            .expect("valid config")
     }
 
     #[test]
@@ -178,10 +178,13 @@ mod tests {
             ..WorkloadConfig::default()
         };
         let control = ControlSequence::constant(30, 2, Duration::from_secs(1));
-        let config = EvalConfig {
-            mode: TestingMode::BatchBaseline,
-            ..fast_config()
-        };
+        let config = EvalConfig::builder()
+            .mode(TestingMode::BatchBaseline)
+            .machine(ClientMachine::unconstrained())
+            .poll_interval(Duration::from_millis(20))
+            .drain_timeout(Duration::from_secs(60))
+            .build()
+            .expect("valid config");
         let report = run_distributed(&deployment, &workload, &control, &config, 1).unwrap();
         assert!(report.index_stats()[0].is_none());
     }

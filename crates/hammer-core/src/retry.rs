@@ -15,6 +15,20 @@
 
 use std::time::Duration;
 
+/// Outcome of one retry-policy consultation after a transient failure.
+/// [`RetryPolicy::decide`] is the single decision point the submission
+/// workers use, so its semantics can be property-tested without a chain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RetryDecision {
+    /// Pause for the contained duration, then attempt again.
+    Retry(Duration),
+    /// The attempt budget is exhausted: abandon as `Dropped`.
+    Drop,
+    /// The next pause would cross the per-slice deadline: abandon as
+    /// `Expired`.
+    Expire,
+}
+
 /// When and how the submission workers retry transient failures.
 ///
 /// Backoff for attempt `n` (0-based) is
@@ -128,6 +142,29 @@ impl RetryPolicy {
         let factor = 1.0 + self.jitter * (2.0 * unit - 1.0);
         raw.mul_f64(factor)
     }
+
+    /// The worker-loop decision after transient failure number `attempt`
+    /// (0-based): retry after a jittered pause, drop (budget exhausted),
+    /// or expire (the pause would cross `give_up_at`). `now` is the
+    /// current simulated time and `seed` the transaction fingerprint —
+    /// both the driver's retry loop and property tests route through
+    /// here, so what is tested is what runs.
+    pub fn decide(
+        &self,
+        attempt: u32,
+        seed: u64,
+        now: Duration,
+        give_up_at: Duration,
+    ) -> RetryDecision {
+        if attempt >= self.max_retries {
+            return RetryDecision::Drop;
+        }
+        let pause = self.backoff(attempt, seed);
+        if now + pause >= give_up_at {
+            return RetryDecision::Expire;
+        }
+        RetryDecision::Retry(pause)
+    }
 }
 
 /// The splitmix64 mixer (public-domain; the same finaliser the seeded
@@ -143,6 +180,7 @@ fn splitmix64(mut z: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn disabled_policy_validates_and_never_retries() {
@@ -262,5 +300,133 @@ mod tests {
             ..RetryPolicy::standard()
         };
         assert_eq!(p.backoff(4, 1), p.backoff(4, 2), "no jitter → seed-free");
+    }
+
+    #[test]
+    fn decide_mirrors_the_worker_loop() {
+        let p = RetryPolicy {
+            jitter: 0.0,
+            ..RetryPolicy::standard()
+        };
+        let far = Duration::from_secs(3600);
+        assert_eq!(
+            p.decide(0, 7, Duration::ZERO, far),
+            RetryDecision::Retry(Duration::from_millis(10))
+        );
+        assert_eq!(
+            p.decide(p.max_retries, 7, Duration::ZERO, far),
+            RetryDecision::Drop
+        );
+        // A pause that would land exactly on the deadline expires
+        // (half-open, like fault windows).
+        assert_eq!(
+            p.decide(0, 7, Duration::ZERO, Duration::from_millis(10)),
+            RetryDecision::Expire
+        );
+    }
+
+    /// Drives [`RetryPolicy::decide`] the way a worker does: accumulate
+    /// pauses from `start` until the policy says stop. Returns the
+    /// terminal decision and the pause sequence taken.
+    fn walk(
+        policy: &RetryPolicy,
+        seed: u64,
+        start: Duration,
+        give_up_at: Duration,
+    ) -> (RetryDecision, Vec<Duration>) {
+        let mut now = start;
+        let mut pauses = Vec::new();
+        for attempt in 0.. {
+            match policy.decide(attempt, seed, now, give_up_at) {
+                RetryDecision::Retry(pause) => {
+                    now += pause;
+                    pauses.push(pause);
+                }
+                terminal => return (terminal, pauses),
+            }
+        }
+        unreachable!("decide terminates within max_retries + 1 attempts")
+    }
+
+    proptest! {
+        /// Same seed + same transaction fingerprint ⇒ the identical
+        /// jitter sequence, across independently constructed policies.
+        #[test]
+        fn prop_jitter_sequence_is_deterministic(
+            seed in any::<u64>(),
+            max_retries in 1u32..16,
+            base_ms in 1u64..50,
+            multiplier in 1.0f64..4.0,
+            jitter in 0.0f64..0.9,
+        ) {
+            let build = || RetryPolicy {
+                max_retries,
+                base_backoff: Duration::from_millis(base_ms),
+                multiplier,
+                max_backoff: Duration::from_secs(2),
+                jitter,
+                deadline: None,
+            };
+            let (a, b) = (build(), build());
+            prop_assert_eq!(a.validate(), Ok(()));
+            let far = Duration::from_secs(1_000_000);
+            let (end_a, pauses_a) = walk(&a, seed, Duration::ZERO, far);
+            let (end_b, pauses_b) = walk(&b, seed, Duration::ZERO, far);
+            prop_assert_eq!(end_a, end_b);
+            prop_assert_eq!(&pauses_a, &pauses_b);
+            // And per-attempt: the pause is a pure function of
+            // (policy, attempt, seed).
+            for (attempt, pause) in pauses_a.iter().enumerate() {
+                prop_assert_eq!(a.backoff(attempt as u32, seed), *pause);
+            }
+        }
+
+        /// With an unreachable deadline, exhausting the attempt budget
+        /// always terminates in `Drop`, after exactly `max_retries`
+        /// retries.
+        #[test]
+        fn prop_budget_exhaustion_always_drops(
+            seed in any::<u64>(),
+            max_retries in 1u32..16,
+            base_ms in 1u64..50,
+            multiplier in 1.0f64..4.0,
+            jitter in 0.0f64..0.9,
+        ) {
+            let policy = RetryPolicy {
+                max_retries,
+                base_backoff: Duration::from_millis(base_ms),
+                multiplier,
+                max_backoff: Duration::from_secs(2),
+                jitter,
+                deadline: None,
+            };
+            // 2 s max pause × ≤16 attempts ≪ 1 000 000 s: the deadline
+            // can never fire, so the budget must.
+            let far = Duration::from_secs(1_000_000);
+            let (end, pauses) = walk(&policy, seed, Duration::ZERO, far);
+            prop_assert_eq!(end, RetryDecision::Drop);
+            prop_assert_eq!(pauses.len() as u32, max_retries);
+        }
+
+        /// With a finite deadline, the walk still terminates, never
+        /// retries past the deadline, and ends in `Drop` or `Expire` —
+        /// the two abandonment statuses the accounting identity counts.
+        #[test]
+        fn prop_finite_deadline_terminates_in_drop_or_expire(
+            seed in any::<u64>(),
+            max_retries in 1u32..16,
+            deadline_ms in 1u64..2_000,
+        ) {
+            let policy = RetryPolicy {
+                max_retries,
+                ..RetryPolicy::standard()
+            };
+            let give_up_at = Duration::from_millis(deadline_ms);
+            let (end, pauses) = walk(&policy, seed, Duration::ZERO, give_up_at);
+            prop_assert!(matches!(end, RetryDecision::Drop | RetryDecision::Expire));
+            prop_assert!(pauses.len() as u32 <= max_retries);
+            let elapsed: Duration = pauses.iter().sum();
+            prop_assert!(elapsed < give_up_at, "retried past the deadline");
+        }
     }
 }

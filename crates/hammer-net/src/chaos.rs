@@ -1,0 +1,407 @@
+//! Seeded randomized fault-schedule generation ("chaos") and schedule
+//! shrinking.
+//!
+//! PR 2's [`crate::FaultPlan`] windows are hand-written: they only probe
+//! the handful of schedules someone thought to script. This module
+//! *generates* schedules instead: [`ChaosSchedule::generate`] composes
+//! randomized crash / blackhole / partition / latency-spike windows over
+//! a set of discovered fault targets (a chain's ingress and sealer
+//! nodes), under overlap rules that guarantee the result passes
+//! [`crate::FaultPlan::validate`] — every generated plan is installable
+//! and every run under it is reproducible from `(seed, targets, config)`
+//! alone.
+//!
+//! When a generated schedule makes a run violate an invariant, the
+//! schedule itself is the repro — but a 6-window schedule is a poor bug
+//! report. [`ChaosSchedule::shrink_to_failing_prefix`] re-runs the
+//! failing predicate on successively longer prefixes (windows ordered by
+//! start time) and returns the shortest one that still fails, the
+//! property-testing shrink idiom applied to fault schedules.
+
+use std::time::Duration;
+
+use crate::fault::{Fault, FaultPlan, FaultWindow};
+
+/// Fault targets discovered from a deployed chain: the nodes that accept
+/// client traffic and the nodes that drive block/epoch production.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ChaosTargets {
+    /// Endpoints accepting client submissions (`SimChain::ingress_nodes`).
+    pub ingress: Vec<String>,
+    /// Endpoints driving sealing (`SimChain::sealer_nodes`).
+    pub sealers: Vec<String>,
+}
+
+impl ChaosTargets {
+    /// Builds targets from the two discovery lists.
+    pub fn new(ingress: Vec<String>, sealers: Vec<String>) -> Self {
+        ChaosTargets { ingress, sealers }
+    }
+
+    /// Every distinct target node, ingress first, insertion order kept.
+    pub fn all(&self) -> Vec<String> {
+        let mut all: Vec<String> = Vec::with_capacity(self.ingress.len() + self.sealers.len());
+        for name in self.ingress.iter().chain(self.sealers.iter()) {
+            if !all.contains(name) {
+                all.push(name.clone());
+            }
+        }
+        all
+    }
+
+    /// Whether there is anything to fault at all.
+    pub fn is_empty(&self) -> bool {
+        self.ingress.is_empty() && self.sealers.is_empty()
+    }
+}
+
+/// Bounds for schedule generation.
+///
+/// The defaults describe a 20-second-horizon run: up to four windows of
+/// 0.5–3 s each, none starting before 1 s (so the run establishes a
+/// fault-free baseline) and none extending past 75 % of the horizon (so
+/// in-flight transactions always get a recovery tail to commit in —
+/// without it, every schedule ending in a crash would "violate" the
+/// accounting identity with timeouts that are really just truncation).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChaosConfig {
+    /// Total scheduled run length the plan must fit inside.
+    pub horizon: Duration,
+    /// Upper bound on the number of generated windows (at least one is
+    /// always attempted).
+    pub max_windows: usize,
+    /// Shortest window the generator may emit.
+    pub min_window: Duration,
+    /// Longest window the generator may emit.
+    pub max_window: Duration,
+    /// Quiet lead-in: no window starts before this.
+    pub lead_in: Duration,
+    /// Fraction of the horizon tail kept fault-free for recovery.
+    pub settle_fraction: f64,
+    /// Whether partition windows may be generated (needs ≥ 2 targets).
+    pub allow_partitions: bool,
+    /// Largest extra delay a latency-spike window may add.
+    pub max_spike: Duration,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            horizon: Duration::from_secs(20),
+            max_windows: 4,
+            min_window: Duration::from_millis(500),
+            max_window: Duration::from_secs(3),
+            lead_in: Duration::from_secs(1),
+            settle_fraction: 0.25,
+            allow_partitions: true,
+            max_spike: Duration::from_millis(200),
+        }
+    }
+}
+
+/// A generated, guaranteed-valid fault schedule plus its provenance.
+#[derive(Clone, Debug)]
+pub struct ChaosSchedule {
+    seed: u64,
+    plan: FaultPlan,
+}
+
+impl ChaosSchedule {
+    /// Generates a schedule from `seed` over the discovered `targets`.
+    ///
+    /// Composition rules keeping every output valid and meaningful:
+    ///
+    /// * windows are quantized to a 100 ms grid inside
+    ///   `[lead_in, horizon·(1−settle_fraction))`;
+    /// * no two same-kind state faults (crash/crash, blackhole/blackhole)
+    ///   ever overlap on one node — candidates violating this are
+    ///   re-drawn, so [`FaultPlan::validate`] holds by construction
+    ///   (cross-kind overlap and stacking latency spikes stay possible:
+    ///   they are defined behaviour worth probing);
+    /// * only discovered target names are referenced, so
+    ///   [`FaultPlan::validate_against`] the deployed topology holds too;
+    /// * windows are emitted sorted by start time, which is what makes
+    ///   prefix shrinking meaningful.
+    ///
+    /// With empty `targets` the schedule is empty (nothing to fault).
+    pub fn generate(seed: u64, targets: &ChaosTargets, config: &ChaosConfig) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let nodes = targets.all();
+        let mut windows: Vec<FaultWindow> = Vec::new();
+        if !nodes.is_empty() {
+            let fault_tail = config
+                .horizon
+                .mul_f64((1.0 - config.settle_fraction).max(0.0));
+            let count = 1 + (rng.next() as usize) % config.max_windows.max(1);
+            'windows: for _ in 0..count {
+                for _retry in 0..16 {
+                    let Some(candidate) = draw_window(&mut rng, &nodes, config, fault_tail) else {
+                        break 'windows; // horizon too tight for any window
+                    };
+                    if !conflicts(&candidate, &windows) {
+                        windows.push(candidate);
+                        break;
+                    }
+                }
+            }
+        }
+        windows.sort_by_key(|w| w.start);
+        let mut plan = FaultPlan::new();
+        for w in windows {
+            plan = plan.with_window(w);
+        }
+        debug_assert!(plan.validate().is_ok());
+        ChaosSchedule { seed, plan }
+    }
+
+    /// The seed the schedule was generated from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The generated plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Consumes the schedule, yielding the plan for installation.
+    pub fn into_plan(self) -> FaultPlan {
+        self.plan
+    }
+
+    /// Minimizes a failing schedule: returns the shortest prefix of
+    /// `plan`'s windows (in order, so sorted-by-start for generated
+    /// plans) on which `fails` still returns `true`, re-running the
+    /// predicate once per prefix length from the empty plan upward.
+    /// Returns `None` when not even the full plan fails — the original
+    /// failure did not reproduce.
+    ///
+    /// The predicate typically re-runs a whole evaluation under the
+    /// candidate plan and re-checks the violated invariant, so expect
+    /// one evaluation per window plus one for the empty plan.
+    pub fn shrink_to_failing_prefix(
+        plan: &FaultPlan,
+        mut fails: impl FnMut(&FaultPlan) -> bool,
+    ) -> Option<FaultPlan> {
+        for len in 0..=plan.windows().len() {
+            let mut prefix = FaultPlan::new();
+            for w in &plan.windows()[..len] {
+                prefix = prefix.with_window(w.clone());
+            }
+            if fails(&prefix) {
+                return Some(prefix);
+            }
+        }
+        None
+    }
+}
+
+/// Draws one candidate window; `None` when the horizon leaves no room.
+fn draw_window(
+    rng: &mut SplitMix64,
+    nodes: &[String],
+    config: &ChaosConfig,
+    fault_tail: Duration,
+) -> Option<FaultWindow> {
+    const GRID_MS: u64 = 100;
+    let min_ms = config.min_window.as_millis().max(1) as u64;
+    let max_ms = (config.max_window.as_millis() as u64).max(min_ms);
+    let lead_ms = config.lead_in.as_millis() as u64;
+    let tail_ms = fault_tail.as_millis() as u64;
+    let duration_ms = quantize(min_ms + rng.next() % (max_ms - min_ms + 1), GRID_MS).max(GRID_MS);
+    let latest_start = tail_ms.checked_sub(duration_ms)?;
+    if latest_start < lead_ms {
+        return None;
+    }
+    let start_ms = quantize(lead_ms + rng.next() % (latest_start - lead_ms + 1), GRID_MS);
+    let start = Duration::from_millis(start_ms.max(lead_ms));
+    let end = start + Duration::from_millis(duration_ms);
+    let node = nodes[(rng.next() as usize) % nodes.len()].clone();
+    let partitions_possible = config.allow_partitions && nodes.len() >= 2;
+    let shapes = if partitions_possible { 4 } else { 3 };
+    let plan = match rng.next() % shapes {
+        0 => FaultPlan::new().crash(&node, start, end),
+        1 => FaultPlan::new().blackhole(&node, start, end),
+        2 => {
+            let spike_ms = (config.max_spike.as_millis() as u64).max(1);
+            let extra = Duration::from_millis(1 + rng.next() % spike_ms);
+            if rng.next().is_multiple_of(2) {
+                FaultPlan::new().latency_spike_on(&node, extra, start, end)
+            } else {
+                FaultPlan::new().latency_spike(extra, start, end)
+            }
+        }
+        _ => {
+            // Random two-group split: shuffle, then cut at 1..len-1.
+            let mut shuffled: Vec<&str> = nodes.iter().map(String::as_str).collect();
+            for i in (1..shuffled.len()).rev() {
+                shuffled.swap(i, (rng.next() as usize) % (i + 1));
+            }
+            let cut = 1 + (rng.next() as usize) % (shuffled.len() - 1);
+            let (left, right) = shuffled.split_at(cut);
+            FaultPlan::new().partition(&[left, right], start, end)
+        }
+    };
+    plan.windows().first().cloned()
+}
+
+/// Whether `candidate` breaks the same-kind/same-node overlap rule
+/// against the already-accepted windows — the mirror of
+/// [`FaultPlan::validate`]'s `ContradictoryOverlap` check.
+fn conflicts(candidate: &FaultWindow, accepted: &[FaultWindow]) -> bool {
+    let state_target = |fault: &Fault| match fault {
+        Fault::Crash { node } => Some((0u8, node.clone())),
+        Fault::Blackhole { node } => Some((1u8, node.clone())),
+        _ => None,
+    };
+    let Some(key) = state_target(&candidate.fault) else {
+        return false;
+    };
+    accepted.iter().any(|w| {
+        state_target(&w.fault) == Some(key.clone())
+            && candidate.start < w.end
+            && w.start < candidate.end
+    })
+}
+
+fn quantize(value: u64, grid: u64) -> u64 {
+    (value / grid) * grid
+}
+
+/// Sebastiano Vigna's SplitMix64: tiny, seedable, and good enough for
+/// schedule composition (the evaluation's own determinism comes from the
+/// sim clock and the network seed, not from this stream).
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn targets() -> ChaosTargets {
+        ChaosTargets::new(
+            vec!["ingress-0".into(), "ingress-1".into()],
+            vec!["sealer-0".into(), "ingress-0".into()],
+        )
+    }
+
+    #[test]
+    fn targets_dedup_and_keep_order() {
+        let t = targets();
+        assert_eq!(t.all(), ["ingress-0", "ingress-1", "sealer-0"]);
+        assert!(!t.is_empty());
+        assert!(ChaosTargets::default().is_empty());
+    }
+
+    #[test]
+    fn generated_schedules_are_always_valid() {
+        let t = targets();
+        let cfg = ChaosConfig::default();
+        let topology = t.all();
+        for seed in 0..200u64 {
+            let schedule = ChaosSchedule::generate(seed, &t, &cfg);
+            let plan = schedule.plan();
+            plan.validate()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            plan.validate_against(&topology)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(!plan.is_empty(), "seed {seed} generated no windows");
+            // Windows honour the lead-in and the recovery tail.
+            let tail = cfg.horizon.mul_f64(1.0 - cfg.settle_fraction);
+            for w in plan.windows() {
+                assert!(w.start >= cfg.lead_in, "seed {seed}: {w:?}");
+                assert!(w.end <= tail, "seed {seed}: {w:?}");
+                assert!(w.duration() >= Duration::from_millis(100));
+            }
+            // Sorted by start: prefix shrinking is chronological.
+            let starts: Vec<_> = plan.windows().iter().map(|w| w.start).collect();
+            let mut sorted = starts.clone();
+            sorted.sort();
+            assert_eq!(starts, sorted);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_schedule_different_seed_diverges() {
+        let t = targets();
+        let cfg = ChaosConfig::default();
+        let a = ChaosSchedule::generate(42, &t, &cfg);
+        let b = ChaosSchedule::generate(42, &t, &cfg);
+        assert_eq!(a.plan(), b.plan());
+        assert_eq!(a.seed(), 42);
+        // At least one of a handful of other seeds must differ (the
+        // space of schedules is large; all-equal means a broken RNG).
+        assert!(
+            (43..48u64).any(|s| ChaosSchedule::generate(s, &t, &cfg).plan() != a.plan()),
+            "every seed produced the identical schedule"
+        );
+    }
+
+    #[test]
+    fn empty_targets_generate_empty_plans() {
+        let schedule =
+            ChaosSchedule::generate(7, &ChaosTargets::default(), &ChaosConfig::default());
+        assert!(schedule.plan().is_empty());
+    }
+
+    #[test]
+    fn tight_horizon_generates_nothing_rather_than_invalid_windows() {
+        let cfg = ChaosConfig {
+            horizon: Duration::from_secs(1),
+            ..ChaosConfig::default()
+        };
+        for seed in 0..20u64 {
+            let schedule = ChaosSchedule::generate(seed, &targets(), &cfg);
+            schedule.plan().validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn shrinker_finds_the_smallest_failing_prefix() {
+        let plan = FaultPlan::new()
+            .crash("a", Duration::from_secs(1), Duration::from_secs(2))
+            .blackhole("b", Duration::from_secs(3), Duration::from_secs(4))
+            .crash("a", Duration::from_secs(5), Duration::from_secs(6))
+            .latency_spike(
+                Duration::from_millis(50),
+                Duration::from_secs(7),
+                Duration::from_secs(8),
+            );
+        // "Fails" whenever the plan contains the second crash on `a` —
+        // the minimal failing prefix is the first three windows.
+        let mut evaluations = 0usize;
+        let shrunk = ChaosSchedule::shrink_to_failing_prefix(&plan, |p| {
+            evaluations += 1;
+            p.windows()
+                .iter()
+                .filter(|w| matches!(&w.fault, Fault::Crash { node } if node == "a"))
+                .count()
+                >= 2
+        })
+        .expect("full plan fails");
+        assert_eq!(shrunk.windows().len(), 3);
+        assert_eq!(evaluations, 4, "prefixes 0..=3 evaluated once each");
+
+        // A predicate that never fails yields None.
+        assert!(ChaosSchedule::shrink_to_failing_prefix(&plan, |_| false).is_none());
+
+        // A failure independent of the plan shrinks to the empty plan.
+        let empty = ChaosSchedule::shrink_to_failing_prefix(&plan, |_| true).unwrap();
+        assert!(empty.is_empty());
+    }
+}

@@ -84,6 +84,81 @@ impl FaultWindow {
     }
 }
 
+/// Why a [`FaultPlan`] failed validation.
+///
+/// Shape errors ([`FaultPlanError::EmptyWindow`],
+/// [`FaultPlanError::AmbiguousPartition`],
+/// [`FaultPlanError::ContradictoryOverlap`]) are intrinsic to the plan;
+/// [`FaultPlanError::UnknownNode`] only arises from
+/// [`FaultPlan::validate_against`], which additionally checks every
+/// referenced endpoint against a deployed topology.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultPlanError {
+    /// A window's `start >= end`, so it can never be active.
+    EmptyWindow {
+        /// Label of the offending window.
+        label: String,
+    },
+    /// A partition window lists the same endpoint in more than one
+    /// group, so its side of the partition is undefined.
+    AmbiguousPartition {
+        /// Label of the offending window.
+        label: String,
+        /// The endpoint listed twice.
+        node: String,
+    },
+    /// Two same-kind state faults (crash/crash or blackhole/blackhole)
+    /// target the same node in overlapping windows. The overlap is
+    /// redundant at best and contradicts per-window attribution: a
+    /// schedule should merge the windows instead.
+    ContradictoryOverlap {
+        /// Label of the earlier window.
+        first: String,
+        /// Label of the overlapping window.
+        second: String,
+        /// The doubly-faulted node.
+        node: String,
+    },
+    /// The plan references an endpoint the deployed topology does not
+    /// contain, so the fault would silently never fire.
+    UnknownNode {
+        /// Label of the offending window.
+        label: String,
+        /// The unknown endpoint name.
+        node: String,
+    },
+}
+
+impl std::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultPlanError::EmptyWindow { label } => {
+                write!(f, "fault window '{label}' is empty or inverted")
+            }
+            FaultPlanError::AmbiguousPartition { label, node } => {
+                write!(
+                    f,
+                    "partition window '{label}' lists '{node}' in more than one group"
+                )
+            }
+            FaultPlanError::ContradictoryOverlap {
+                first,
+                second,
+                node,
+            } => write!(
+                f,
+                "windows '{first}' and '{second}' apply the same fault to '{node}' in \
+                 overlapping intervals"
+            ),
+            FaultPlanError::UnknownNode { label, node } => {
+                write!(f, "fault window '{label}' references unknown node '{node}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
 /// How a node is currently impaired, from the viewpoint of a client
 /// calling into it.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -218,14 +293,80 @@ impl FaultPlan {
             .collect()
     }
 
-    /// Rejects windows whose `start >= end`.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Validates the plan's shape: every window non-empty, every
+    /// partition unambiguous, and no two same-kind state faults
+    /// (crash/crash, blackhole/blackhole) overlapping on one node.
+    /// Cross-kind overlap stays legal — a crash dominating a concurrent
+    /// blackhole is defined behaviour ([`FaultPlan::node_fault`]), and
+    /// latency spikes stack by design.
+    pub fn validate(&self) -> Result<(), FaultPlanError> {
         for w in &self.windows {
             if w.start >= w.end {
-                return Err(format!(
-                    "fault window '{}' is empty or inverted ({:?} >= {:?})",
-                    w.label, w.start, w.end
-                ));
+                return Err(FaultPlanError::EmptyWindow {
+                    label: w.label.clone(),
+                });
+            }
+            if let Fault::Partition { groups } = &w.fault {
+                let mut seen: Vec<&str> = Vec::new();
+                for member in groups.iter().flatten() {
+                    if seen.contains(&member.as_str()) {
+                        return Err(FaultPlanError::AmbiguousPartition {
+                            label: w.label.clone(),
+                            node: member.clone(),
+                        });
+                    }
+                    seen.push(member);
+                }
+            }
+        }
+        let state_target = |fault: &Fault| match fault {
+            Fault::Crash { node } => Some((0u8, node.clone())),
+            Fault::Blackhole { node } => Some((1u8, node.clone())),
+            _ => None,
+        };
+        for (i, a) in self.windows.iter().enumerate() {
+            let Some(key_a) = state_target(&a.fault) else {
+                continue;
+            };
+            for b in &self.windows[i + 1..] {
+                if state_target(&b.fault) == Some(key_a.clone())
+                    && a.start < b.end
+                    && b.start < a.end
+                {
+                    return Err(FaultPlanError::ContradictoryOverlap {
+                        first: a.label.clone(),
+                        second: b.label.clone(),
+                        node: key_a.1,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// [`FaultPlan::validate`] plus a topology check: every endpoint the
+    /// plan references (crash/blackhole/latency targets, partition group
+    /// members) must appear in `topology`, so a typo'd node name fails
+    /// loudly instead of producing a fault that never fires.
+    pub fn validate_against(&self, topology: &[String]) -> Result<(), FaultPlanError> {
+        self.validate()?;
+        let known = |name: &str| topology.iter().any(|t| t == name);
+        for w in &self.windows {
+            let mut referenced: Vec<&str> = Vec::new();
+            match &w.fault {
+                Fault::Crash { node } | Fault::Blackhole { node } => referenced.push(node),
+                Fault::Partition { groups } => {
+                    referenced.extend(groups.iter().flatten().map(String::as_str));
+                }
+                Fault::LatencySpike { node, .. } => {
+                    referenced.extend(node.as_deref());
+                }
+            }
+            if let Some(node) = referenced.into_iter().find(|n| !known(n)) {
+                return Err(FaultPlanError::UnknownNode {
+                    label: w.label.clone(),
+                    node: node.to_owned(),
+                });
             }
         }
         Ok(())
@@ -377,7 +518,72 @@ mod tests {
         let good = FaultPlan::new().crash("n", secs(1), secs(2));
         assert!(good.validate().is_ok());
         let bad = FaultPlan::new().crash("n", secs(2), secs(2));
-        assert!(bad.validate().is_err());
+        assert!(matches!(
+            bad.validate(),
+            Err(FaultPlanError::EmptyWindow { label }) if label == "crash:n"
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_ambiguous_partitions() {
+        let bad = FaultPlan::new().partition(&[&["a", "b"], &["b", "c"]], secs(1), secs(2));
+        assert!(matches!(
+            bad.validate(),
+            Err(FaultPlanError::AmbiguousPartition { node, .. }) if node == "b"
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_same_kind_overlap_on_one_node() {
+        let bad = FaultPlan::new()
+            .crash("n", secs(1), secs(4))
+            .crash("n", secs(3), secs(6));
+        assert!(matches!(
+            bad.validate(),
+            Err(FaultPlanError::ContradictoryOverlap { node, .. }) if node == "n"
+        ));
+        // Crash-restart on one node (disjoint windows) stays legal, as
+        // does the same interval on two different nodes.
+        let restart = FaultPlan::new()
+            .crash("n", secs(1), secs(3))
+            .crash("n", secs(5), secs(7));
+        assert!(restart.validate().is_ok());
+        let two_nodes =
+            FaultPlan::new()
+                .blackhole("a", secs(1), secs(4))
+                .blackhole("b", secs(1), secs(4));
+        assert!(two_nodes.validate().is_ok());
+        // Cross-kind overlap is defined behaviour (crash dominates).
+        let cross = FaultPlan::new()
+            .blackhole("n", secs(0), secs(5))
+            .crash("n", secs(2), secs(3));
+        assert!(cross.validate().is_ok());
+        // Overlapping network-wide latency spikes stack by design.
+        let spikes = FaultPlan::new()
+            .latency_spike(Duration::from_millis(10), secs(0), secs(5))
+            .latency_spike(Duration::from_millis(20), secs(2), secs(7));
+        assert!(spikes.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_against_checks_the_topology() {
+        let topology: Vec<String> = ["a", "b", "c"].iter().map(|s| (*s).to_string()).collect();
+        let good = FaultPlan::new()
+            .crash("a", secs(1), secs(2))
+            .partition(&[&["a"], &["b", "c"]], secs(3), secs(4))
+            .latency_spike_on("b", Duration::from_millis(5), secs(5), secs(6))
+            .latency_spike(Duration::from_millis(5), secs(7), secs(8));
+        assert!(good.validate_against(&topology).is_ok());
+        let bad = FaultPlan::new().blackhole("ghost", secs(1), secs(2));
+        assert!(matches!(
+            bad.validate_against(&topology),
+            Err(FaultPlanError::UnknownNode { node, .. }) if node == "ghost"
+        ));
+        let bad_group = FaultPlan::new().partition(&[&["a"], &["ghost"]], secs(1), secs(2));
+        assert!(matches!(
+            bad_group.validate_against(&topology),
+            Err(FaultPlanError::UnknownNode { node, .. }) if node == "ghost"
+        ));
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //! * [`fault::FaultPlan`] — scripted, clock-driven fault windows (node
 //!   crash/restart, blackhole, partition, latency spike) that compose with
 //!   the probabilistic link model for robustness evaluations.
+//! * [`chaos::ChaosSchedule`] — a seeded generator of valid randomized
+//!   fault plans over discovered fault targets, plus a shrinker that
+//!   reduces a failing schedule to its smallest failing prefix.
 //!
 //! The network also carries the run's observability bundle
 //! ([`SimNetwork::install_obs`]): per-link byte and drop counters are
@@ -43,12 +46,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 pub mod clock;
 pub mod fault;
 pub mod link;
 pub mod network;
 
+pub use chaos::{ChaosConfig, ChaosSchedule, ChaosTargets};
 pub use clock::SimClock;
-pub use fault::{Fault, FaultPlan, FaultWindow, NodeFault};
+pub use fault::{Fault, FaultPlan, FaultPlanError, FaultWindow, NodeFault};
 pub use link::LinkConfig;
 pub use network::{Endpoint, FaultObserver, Message, NetError, SimNetwork, DEFAULT_NET_SEED};

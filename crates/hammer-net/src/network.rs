@@ -19,7 +19,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::clock::SimClock;
-use crate::fault::{FaultPlan, NodeFault};
+use crate::fault::{FaultPlan, FaultPlanError, NodeFault};
 use crate::link::LinkConfig;
 
 /// Default RNG seed for delay/loss sampling. One fixed seed (rather than
@@ -306,14 +306,34 @@ impl SimNetwork {
     /// this network's clock on every send; chain simulators additionally
     /// consult [`SimNetwork::node_fault`] to gate production and ingress.
     ///
+    /// This is the infallible path for hand-written fixtures: shape
+    /// errors panic, and node names are *not* checked against the
+    /// registered endpoints (so a plan may be installed before the chain
+    /// deploys). Generated or user-supplied plans should go through
+    /// [`SimNetwork::try_install_faults`], which also validates the
+    /// topology and returns a typed error.
+    ///
     /// # Panics
     ///
-    /// Panics when the plan contains an empty or inverted window —
+    /// Panics when the plan contains an empty or inverted window, an
+    /// ambiguous partition, or contradictory overlapping windows —
     /// scripted faults are test fixtures and a malformed one is a
     /// programming error.
     pub fn install_faults(&self, plan: FaultPlan) {
         plan.validate().expect("fault plan must be valid");
         *self.shared.faults.lock() = Some(Arc::new(plan));
+    }
+
+    /// Fallible fault installation: validates the plan's shape *and*
+    /// checks every referenced node against the currently registered
+    /// endpoints ([`SimNetwork::endpoint_names`]), so a typo'd or stale
+    /// node name is rejected instead of producing a window that silently
+    /// never fires. Call this after the chain has deployed (endpoints
+    /// registered); nothing is installed on error.
+    pub fn try_install_faults(&self, plan: FaultPlan) -> Result<(), FaultPlanError> {
+        plan.validate_against(&self.endpoint_names())?;
+        *self.shared.faults.lock() = Some(Arc::new(plan));
+        Ok(())
     }
 
     /// Removes any installed fault schedule.
@@ -825,6 +845,32 @@ mod tests {
         use crate::fault::FaultPlan;
         let net = fast_net();
         net.install_faults(FaultPlan::new().crash("x", Duration::from_secs(2), Duration::ZERO));
+    }
+
+    #[test]
+    fn try_install_rejects_bad_shape_and_unknown_nodes() {
+        use crate::fault::{FaultPlan, FaultPlanError};
+        let net = fast_net();
+        let _a = net.register("a");
+        let _b = net.register("b");
+        // Shape error: typed, nothing installed.
+        let inverted = FaultPlan::new().crash("a", Duration::from_secs(2), Duration::ZERO);
+        assert!(matches!(
+            net.try_install_faults(inverted),
+            Err(FaultPlanError::EmptyWindow { .. })
+        ));
+        assert!(net.fault_plan().is_none());
+        // Topology error: the node name is not a registered endpoint.
+        let ghost = FaultPlan::new().blackhole("ghost", Duration::ZERO, Duration::from_secs(1));
+        assert!(matches!(
+            net.try_install_faults(ghost),
+            Err(FaultPlanError::UnknownNode { node, .. }) if node == "ghost"
+        ));
+        assert!(net.fault_plan().is_none());
+        // A well-formed plan over registered endpoints installs.
+        let good = FaultPlan::new().crash("b", Duration::ZERO, Duration::from_secs(1));
+        net.try_install_faults(good).unwrap();
+        assert!(net.fault_plan().is_some());
     }
 
     #[test]

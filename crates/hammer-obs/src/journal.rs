@@ -32,6 +32,9 @@ pub enum EventKind {
     RetryExhausted,
     /// A chain sim sealed a block or epoch.
     BlockSeal,
+    /// The driver's stall watchdog detected a no-progress interval and
+    /// aborted the run gracefully.
+    Stalled,
 }
 
 impl EventKind {
@@ -43,6 +46,7 @@ impl EventKind {
             EventKind::Backpressure => "backpressure",
             EventKind::RetryExhausted => "retry_exhausted",
             EventKind::BlockSeal => "block_seal",
+            EventKind::Stalled => "stalled",
         }
     }
 }
@@ -179,6 +183,23 @@ impl Journal {
             node: node.to_owned(),
             detail: detail.to_owned(),
             value: 0,
+        });
+    }
+
+    /// Record a stall-watchdog abort: no commit, retry, or chain
+    /// progress for `budget_s` simulated seconds with work outstanding.
+    /// `pending` carries the number of in-flight transactions stranded
+    /// by the stall.
+    pub fn stalled(&self, at: Duration, node: &str, budget: Duration, pending: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.push(JournalEvent {
+            at,
+            kind: EventKind::Stalled,
+            node: node.to_owned(),
+            detail: format!("budget_s={:.3}", budget.as_secs_f64()),
+            value: pending,
         });
     }
 
@@ -338,11 +359,16 @@ mod tests {
         j.backpressure(Duration::from_secs(2), "eth-node-0", "mempool full");
         j.retry_exhausted(Duration::from_secs(3), "client-0", "expired", 4);
         j.block_seal(Duration::from_secs(4), "eth-node-0", 7, 120);
+        j.stalled(Duration::from_secs(5), "driver", Duration::from_secs(8), 42);
         assert_eq!(j.count_of(EventKind::FaultEnter), 1);
         assert_eq!(j.count_of(EventKind::FaultExit), 1);
         assert_eq!(j.count_of(EventKind::Backpressure), 1);
         assert_eq!(j.count_of(EventKind::RetryExhausted), 1);
         assert_eq!(j.count_of(EventKind::BlockSeal), 1);
+        assert_eq!(j.count_of(EventKind::Stalled), 1);
         assert_eq!(j.events()[4].value, 120);
+        let stall = &j.events()[5];
+        assert_eq!(stall.detail, "budget_s=8.000");
+        assert_eq!(stall.value, 42);
     }
 }

@@ -83,4 +83,17 @@ awk -v p="$plain" -v d="$disabled" 'BEGIN {
     }
 }'
 
+echo "==> chaos smoke: seeded schedules x all backends, invariant oracle"
+# Fixed small matrix (3 seeds, 20 one-second slices) so the gate stays
+# well under a minute on a 1-core host; the full acceptance matrix is
+# `chaos_sweep --seeds 10`. The binary exits non-zero on any violation;
+# the grep is a belt-and-suspenders check on its summary line.
+chaos_out=$(cargo run --release --offline -p bench --bin chaos_sweep -- \
+    --seeds 3 --slices 20)
+echo "$chaos_out" | tail -n 1
+if ! echo "$chaos_out" | grep -q ', 0 invariant violations'; then
+    echo "ci_check: chaos sweep reported invariant violations" >&2
+    exit 1
+fi
+
 echo "ci_check: all gates passed"

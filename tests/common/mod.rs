@@ -19,3 +19,30 @@ static GUARD: Mutex<()> = Mutex::new(());
 pub fn serial_guard() -> MutexGuard<'static, ()> {
     GUARD.lock()
 }
+
+// # Fabric commit band (referenced by tests/cross_chain.rs)
+//
+// The zipf-0.99 SmallBank workload on `fabric_default()` (100 tx/s x 6 s
+// = 600 txs at 400x speed-up) commits fewer than 600: the EOV pipeline
+// loses hot-account transactions to intra-block MVCC conflicts, and the
+// exact block composition jitters with wall-clock scheduling noise, so
+// the commit count is a band, not a constant.
+//
+// Derivation of the asserted floor: run the fabric cross-chain test in
+// release mode N>=10 times and read the printed `fabric committed =`
+// lines, e.g.
+//
+//   for i in $(seq 1 10); do \
+//     cargo test --release --test cross_chain fabric -- --nocapture \
+//       2>&1 | grep 'fabric committed'; done
+//
+// Measured bands, oldest first:
+//
+// * pre-watchdog driver (PR 3): [503, 526]
+// * watchdog-instrumented driver (PR 5, stall probe in the monitor
+//   loop): [510, 529] — the probe reads three atomics and a block
+//   counter per poll tick, which does not shift the band's floor.
+//
+// The assertion uses `> 480`: ~6% below every observed floor, so
+// scheduling noise cannot flake it, while a real sealing or validation
+// regression (which commits far less than the band) still trips it.

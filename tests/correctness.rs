@@ -38,11 +38,11 @@ fn driver_statistics_match_node_logs() {
         ..WorkloadConfig::default()
     };
     let control = ControlSequence::constant(600, 10, Duration::from_secs(1));
-    let config = EvalConfig {
-        machine: ClientMachine::unconstrained(),
-        drain_timeout: Duration::from_secs(120),
-        ..EvalConfig::default()
-    };
+    let config = EvalConfig::builder()
+        .machine(ClientMachine::unconstrained())
+        .drain_timeout(Duration::from_secs(120))
+        .build()
+        .expect("valid config");
     let report = Evaluation::new(config)
         .run(&deployment, &workload, &control)
         .expect("run failed");

@@ -23,11 +23,11 @@ fn run_chain(spec: ChainSpec, rate: u32, seconds: usize, speedup: f64) -> EvalRe
         ..WorkloadConfig::default()
     };
     let control = ControlSequence::constant(rate, seconds, Duration::from_secs(1));
-    let config = EvalConfig {
-        machine: ClientMachine::unconstrained(),
-        drain_timeout: Duration::from_secs(200),
-        ..EvalConfig::default()
-    };
+    let config = EvalConfig::builder()
+        .machine(ClientMachine::unconstrained())
+        .drain_timeout(Duration::from_secs(200))
+        .build()
+        .expect("valid config");
     Evaluation::new(config)
         .run(&deployment, &workload, &control)
         .expect("evaluation failed")
@@ -54,14 +54,17 @@ fn assert_consistent(report: &EvalReport, expected_total: u64) {
 fn fabric_completes_the_common_workload() {
     let _guard = common::serial_guard();
     // Under the zipf-0.99 workload the commit count is dominated by
-    // intra-block MVCC conflicts on hot accounts; with block composition
-    // jittering under wall scheduling noise at 400x speed-up, repeated
-    // runs land in roughly [503, 526] of 600. The bound leaves ~5%
-    // headroom below the observed floor — a real sealing or validation
-    // regression commits far less — so the retry this test used to carry
-    // is gone.
+    // intra-block MVCC conflicts on hot accounts; repeated release runs
+    // land in a band, most recently [510, 529] of 600 under the
+    // watchdog-instrumented driver. The bound keeps ~6% headroom below
+    // the observed floor — a real sealing or validation regression
+    // commits far less. Full derivation and measurement history: "fabric
+    // commit band" in tests/common/mod.rs.
     let report = run_chain(ChainSpec::fabric_default(), 100, 6, 400.0);
     assert_consistent(&report, 600);
+    // Printed so re-measuring the band (see tests/common/mod.rs, "fabric
+    // commit band") is a grep over `--nocapture` runs, not a code edit.
+    eprintln!("fabric committed = {}", report.committed);
     assert!(report.committed > 480, "committed = {}", report.committed);
 }
 

@@ -21,11 +21,11 @@ fn two_driver_servers_one_chain() {
         ..WorkloadConfig::default()
     };
     let control = ControlSequence::constant(40, 4, Duration::from_secs(1));
-    let config = EvalConfig {
-        machine: ClientMachine::unconstrained(),
-        drain_timeout: Duration::from_secs(60),
-        ..EvalConfig::default()
-    };
+    let config = EvalConfig::builder()
+        .machine(ClientMachine::unconstrained())
+        .drain_timeout(Duration::from_secs(60))
+        .build()
+        .expect("valid config");
     let report = run_distributed(&deployment, &workload, &control, &config, 2)
         .expect("distributed run failed");
 

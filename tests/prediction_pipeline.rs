@@ -71,11 +71,11 @@ fn trace_to_evaluation_pipeline() {
         chain_name: "neuchain-sim".to_owned(),
         ..WorkloadConfig::default()
     };
-    let eval_config = EvalConfig {
-        machine: ClientMachine::unconstrained(),
-        drain_timeout: Duration::from_secs(120),
-        ..EvalConfig::default()
-    };
+    let eval_config = EvalConfig::builder()
+        .machine(ClientMachine::unconstrained())
+        .drain_timeout(Duration::from_secs(120))
+        .build()
+        .expect("valid config");
     let report = Evaluation::new(eval_config)
         .run(&deployment, &workload, &control)
         .expect("run failed");

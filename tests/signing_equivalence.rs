@@ -61,12 +61,12 @@ fn evaluations_commit_the_same_set_under_every_strategy() {
             ..WorkloadConfig::default()
         };
         let control = ControlSequence::constant(60, 5, Duration::from_secs(1));
-        let config = EvalConfig {
-            signing,
-            machine: ClientMachine::unconstrained(),
-            drain_timeout: Duration::from_secs(120),
-            ..EvalConfig::default()
-        };
+        let config = EvalConfig::builder()
+            .signing(signing)
+            .machine(ClientMachine::unconstrained())
+            .drain_timeout(Duration::from_secs(120))
+            .build()
+            .expect("valid config");
         let report = Evaluation::new(config)
             .run(&deployment, &workload, &control)
             .expect("run failed");
