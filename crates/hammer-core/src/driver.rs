@@ -49,7 +49,7 @@ use parking_lot::Mutex;
 use crate::baseline::BatchQueue;
 use crate::checkpoint::{checkpoint_key, DriverCheckpoint, RecoveryConfig};
 use crate::deploy::Deployment;
-use crate::index::{TxRecord, TxTable};
+use crate::index::TxRecord;
 use crate::machine::ClientMachine;
 use crate::retry::{RetryDecision, RetryPolicy};
 use crate::signer;
@@ -125,6 +125,11 @@ pub struct EvalConfig {
     /// for this much simulated time while transactions are pending.
     /// `None` (the default) disables the watchdog.
     pub(crate) stall_budget: Option<Duration>,
+    /// Shard count for the in-flight tracker (task-processing modes).
+    /// `None` (the default) sizes it to the host's available parallelism;
+    /// an explicit value is rounded up to a power of two. `1` reproduces
+    /// the single-lock tracker exactly.
+    pub(crate) tracker_shards: Option<usize>,
 }
 
 impl Default for EvalConfig {
@@ -142,6 +147,7 @@ impl Default for EvalConfig {
             live_sync: false,
             retry: RetryPolicy::disabled(),
             stall_budget: None,
+            tracker_shards: None,
         }
     }
 }
@@ -245,6 +251,15 @@ impl EvalConfigBuilder {
         self
     }
 
+    /// Shard count for the in-flight tracker (must be in `1..=4096`;
+    /// rounded up to a power of two). The default sizes the tracker to
+    /// the host's available parallelism; `1` pins the single-lock
+    /// tracker, which is the baseline arm of the `driver_ceiling` bench.
+    pub fn tracker_shards(mut self, shards: usize) -> Self {
+        self.config.tracker_shards = Some(shards);
+        self
+    }
+
     /// Validates and produces the configuration.
     pub fn build(self) -> Result<EvalConfig, EvalError> {
         let config = self.config;
@@ -261,6 +276,14 @@ impl EvalConfigBuilder {
         if config.stall_budget.is_some_and(|b| b.is_zero()) {
             return Err(EvalError::InvalidConfig(
                 "stall_budget must be positive".to_owned(),
+            ));
+        }
+        if config
+            .tracker_shards
+            .is_some_and(|n| !(1..=4096).contains(&n))
+        {
+            return Err(EvalError::InvalidConfig(
+                "tracker_shards must be in 1..=4096".to_owned(),
             ));
         }
         config
@@ -421,6 +444,7 @@ impl EvalReport {
                 push_u64_field(&mut out, "expansions", stats.expansions);
                 push_u64_field(&mut out, "bloom_rejections", stats.bloom_rejections);
                 push_u64_field(&mut out, "misses", stats.misses);
+                push_u64_field(&mut out, "bloom_rebuilds", stats.bloom_rebuilds);
                 close_object(&mut out);
                 out.push(',');
             }
@@ -532,80 +556,143 @@ impl DriverObs {
 }
 
 /// Internal: one interface over the two status-tracking structures.
+/// Locking is *internal* to the implementation — the sharded task tracker
+/// takes one shard lock per call (and one per shard per block for
+/// [`Tracker::complete_block`]) while the batch baseline keeps its single
+/// queue lock — so callers never serialise on a global tracker mutex.
 /// `complete` returns the finished record so callers (the live-sync
 /// pipeline) can publish it without a second lookup.
-trait Tracker: Send {
-    fn insert(&mut self, id: TxId, client: u32, server: u32, start: Duration);
-    fn complete(&mut self, id: &TxId, end: Duration, ok: bool) -> Option<TxRecord>;
+trait Tracker: Send + Sync {
+    fn insert(&self, id: TxId, client: u32, server: u32, start: Duration);
+    fn complete(&self, id: &TxId, end: Duration, ok: bool) -> Option<TxRecord>;
+    /// Matches a whole sealed block, appending every record that
+    /// completed to `out`. The sharded tracker groups the entries by
+    /// shard and locks each shard once per block.
+    fn complete_block(&self, entries: &[(TxId, bool)], end: Duration, out: &mut Vec<TxRecord>);
     /// Submission-side abandonment: the retry loop gave up on a
     /// transaction ([`TxStatus::Dropped`] / [`TxStatus::Expired`]) that
     /// therefore never reached the chain.
-    fn abandon(&mut self, id: &TxId, end: Duration, status: TxStatus) -> bool;
+    fn abandon(&self, id: &TxId, end: Duration, status: TxStatus) -> bool;
+    /// Terminal rejection: the record completes as failed *and* the id
+    /// joins the rejected set under one lock (the pre-sharding driver
+    /// took two global locks here).
+    fn reject(&self, id: &TxId, end: Duration);
     fn pending(&self) -> usize;
     fn index_stats(&self) -> Option<crate::index::IndexStats> {
         None
     }
-    /// A point-in-time copy of every record, pending included, for
-    /// checkpointing. Taken under the tracker lock, so the copy is
-    /// consistent with whatever block heights the caller has scanned.
-    fn snapshot_records(&self) -> Vec<TxRecord>;
-    fn into_records(self: Box<Self>) -> Vec<TxRecord>;
+    /// A consistent point-in-time copy of every record (pending included)
+    /// plus the rejected-id set, for checkpointing. The sharded tracker
+    /// holds all shard locks while copying, so the view is identical to a
+    /// single-table snapshot.
+    fn snapshot(&self) -> (Vec<TxRecord>, Vec<TxId>);
+    /// Resume path: replays a checkpointed rejected-id set.
+    fn restore_rejected(&self, ids: &[TxId]);
+    /// Drains the tracker at end of run: every record plus the combined
+    /// rejected-id set.
+    fn finish(&self) -> (Vec<TxRecord>, HashSet<TxId>);
 }
 
-impl Tracker for TxTable {
-    fn insert(&mut self, id: TxId, client: u32, server: u32, start: Duration) {
-        TxTable::insert(self, id, client, server, start);
+impl Tracker for crate::shard::ShardedTxTable {
+    fn insert(&self, id: TxId, client: u32, server: u32, start: Duration) {
+        crate::shard::ShardedTxTable::insert(self, id, client, server, start);
     }
-    fn complete(&mut self, id: &TxId, end: Duration, ok: bool) -> Option<TxRecord> {
-        if TxTable::complete(self, id, end, ok) {
-            self.get(id).cloned()
-        } else {
-            None
-        }
+    fn complete(&self, id: &TxId, end: Duration, ok: bool) -> Option<TxRecord> {
+        crate::shard::ShardedTxTable::complete(self, id, end, ok)
     }
-    fn abandon(&mut self, id: &TxId, end: Duration, status: TxStatus) -> bool {
-        TxTable::abandon(self, id, end, status)
+    fn complete_block(&self, entries: &[(TxId, bool)], end: Duration, out: &mut Vec<TxRecord>) {
+        crate::shard::ShardedTxTable::complete_block(self, entries, end, out);
+    }
+    fn abandon(&self, id: &TxId, end: Duration, status: TxStatus) -> bool {
+        crate::shard::ShardedTxTable::abandon(self, id, end, status)
+    }
+    fn reject(&self, id: &TxId, end: Duration) {
+        crate::shard::ShardedTxTable::reject(self, id, end);
     }
     fn pending(&self) -> usize {
-        TxTable::pending(self)
+        crate::shard::ShardedTxTable::pending(self)
     }
     fn index_stats(&self) -> Option<crate::index::IndexStats> {
         Some(self.stats())
     }
-    fn snapshot_records(&self) -> Vec<TxRecord> {
-        self.records().to_vec()
+    fn snapshot(&self) -> (Vec<TxRecord>, Vec<TxId>) {
+        crate::shard::ShardedTxTable::snapshot(self)
     }
-    fn into_records(self: Box<Self>) -> Vec<TxRecord> {
-        self.records().to_vec()
+    fn restore_rejected(&self, ids: &[TxId]) {
+        crate::shard::ShardedTxTable::restore_rejected(self, ids);
+    }
+    fn finish(&self) -> (Vec<TxRecord>, HashSet<TxId>) {
+        self.drain()
     }
 }
 
-impl Tracker for BatchQueue {
-    fn insert(&mut self, id: TxId, client: u32, server: u32, start: Duration) {
-        BatchQueue::insert(self, id, client, server, start);
+/// The Blockbench-style baseline behind the same internally-locked
+/// interface: one mutex around the unconfirmed queue (the O(n·m) scan is
+/// the point of the baseline) plus its rejected-id set.
+struct BatchTracker {
+    queue: Mutex<BatchQueue>,
+    rejected: Mutex<HashSet<TxId>>,
+}
+
+impl BatchTracker {
+    fn new() -> Self {
+        BatchTracker {
+            queue: Mutex::new(BatchQueue::new()),
+            rejected: Mutex::new(HashSet::new()),
+        }
     }
-    fn complete(&mut self, id: &TxId, end: Duration, ok: bool) -> Option<TxRecord> {
-        if BatchQueue::complete(self, id, end, ok) {
-            self.records().last().cloned()
+}
+
+impl Tracker for BatchTracker {
+    fn insert(&self, id: TxId, client: u32, server: u32, start: Duration) {
+        self.queue.lock().insert(id, client, server, start);
+    }
+    fn complete(&self, id: &TxId, end: Duration, ok: bool) -> Option<TxRecord> {
+        let mut queue = self.queue.lock();
+        if queue.complete(id, end, ok) {
+            queue.records().last().cloned()
         } else {
             None
         }
     }
-    fn abandon(&mut self, id: &TxId, end: Duration, status: TxStatus) -> bool {
-        BatchQueue::abandon(self, id, end, status)
+    fn complete_block(&self, entries: &[(TxId, bool)], end: Duration, out: &mut Vec<TxRecord>) {
+        let mut queue = self.queue.lock();
+        for (id, ok) in entries {
+            if queue.complete(id, end, *ok) {
+                out.extend(queue.records().last().cloned());
+            }
+        }
+    }
+    fn abandon(&self, id: &TxId, end: Duration, status: TxStatus) -> bool {
+        self.queue.lock().abandon(id, end, status)
+    }
+    fn reject(&self, id: &TxId, end: Duration) {
+        let mut queue = self.queue.lock();
+        let _ = queue.complete(id, end, false);
+        self.rejected.lock().insert(*id);
     }
     fn pending(&self) -> usize {
-        BatchQueue::pending(self)
+        self.queue.lock().pending()
     }
     /// Completed records only: the unconfirmed queue is not included, so
     /// the batch baseline does not support checkpoint/resume (recoverable
     /// runs are restricted to task processing).
-    fn snapshot_records(&self) -> Vec<TxRecord> {
-        self.records().to_vec()
+    fn snapshot(&self) -> (Vec<TxRecord>, Vec<TxId>) {
+        (
+            self.queue.lock().records().to_vec(),
+            self.rejected.lock().iter().copied().collect(),
+        )
     }
-    fn into_records(mut self: Box<Self>) -> Vec<TxRecord> {
-        BatchQueue::timeout_pending(&mut self);
-        self.records().to_vec()
+    fn restore_rejected(&self, ids: &[TxId]) {
+        self.rejected.lock().extend(ids.iter().copied());
+    }
+    fn finish(&self) -> (Vec<TxRecord>, HashSet<TxId>) {
+        let mut queue = self.queue.lock();
+        queue.timeout_pending();
+        (
+            queue.records().to_vec(),
+            std::mem::take(&mut self.rejected.lock()),
+        )
     }
 }
 
@@ -662,7 +749,6 @@ struct CheckpointCtx<'a> {
     killed: &'a AtomicBool,
     abort: &'a AtomicBool,
     retried: &'a AtomicU64,
-    rejected_ids: &'a Mutex<HashSet<TxId>>,
     workload_seed: u64,
     total: u64,
 }
@@ -674,7 +760,7 @@ impl CheckpointCtx<'_> {
     fn observe(
         &mut self,
         now: Duration,
-        tracker: &Mutex<Box<dyn Tracker>>,
+        tracker: &dyn Tracker,
         last_seen: &[u64],
         shard_commits: &Mutex<std::collections::BTreeMap<u32, usize>>,
     ) -> bool {
@@ -691,11 +777,11 @@ impl CheckpointCtx<'_> {
         while self.next_at <= now {
             self.next_at += self.interval;
         }
-        // Tracker first, rejected ids second: workers insert into the
-        // rejected-id set *before* completing the record, so every
-        // rejection visible in the record snapshot has its id here.
-        let records = tracker.lock().snapshot_records();
-        let rejected_ids: Vec<TxId> = self.rejected_ids.lock().iter().copied().collect();
+        // One call snapshots records *and* rejected ids: the tracker
+        // updates both under the same shard lock on rejection and holds
+        // every shard lock while copying, so the pair is consistent —
+        // a rejection visible in the records always has its id here.
+        let (records, rejected_ids) = tracker.snapshot();
         let checkpoint = DriverCheckpoint {
             workload_seed: self.workload_seed,
             total: self.total,
@@ -931,14 +1017,21 @@ impl Evaluation {
             TestingMode::Interactive => workload.threads_per_client + 1,
             _ => workload.threads_per_client,
         };
-        let tracker: Arc<Mutex<Box<dyn Tracker>>> = Arc::new(Mutex::new(match self.config.mode {
-            TestingMode::BatchBaseline => Box::new(BatchQueue::new()),
-            _ => Box::new(TxTable::with_capacity(total)),
-        }));
+        // Auto shard count: one per available core, capped — more shards
+        // than threads only shrinks the per-shard index.
+        let shards = self.config.tracker_shards.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(256)
+        });
+        let tracker: Arc<dyn Tracker> = match self.config.mode {
+            TestingMode::BatchBaseline => Arc::new(BatchTracker::new()),
+            _ => Arc::new(crate::shard::ShardedTxTable::new(shards, total)),
+        };
         let submitted = AtomicU64::new(0);
         let rejected = AtomicU64::new(0);
         let retried = AtomicU64::new(0);
-        let rejected_ids: Mutex<HashSet<TxId>> = Mutex::new(HashSet::new());
         let done_submitting = AtomicBool::new(false);
         let drain_deadline: Mutex<Option<Duration>> = Mutex::new(None);
         // Graceful-abort plumbing: the stall watchdog and the kill switch
@@ -998,7 +1091,7 @@ impl Evaluation {
         let mut initial_last_seen: Option<Vec<u64>> = None;
         let mut known_ids: HashSet<TxId> = HashSet::new();
         if let Some(cp) = &checkpoint {
-            let mut tracker = tracker.lock();
+            let tracker = &*tracker;
             let restored_rejected: HashSet<TxId> = cp.rejected_ids.iter().copied().collect();
             for record in &cp.records {
                 known_ids.insert(record.tx_id);
@@ -1030,7 +1123,7 @@ impl Evaluation {
             submitted.store(cp.records.len() as u64, Ordering::Relaxed);
             rejected.store(cp.rejected_ids.len() as u64, Ordering::Relaxed);
             retried.store(cp.retried, Ordering::Relaxed);
-            *rejected_ids.lock() = restored_rejected;
+            tracker.restore_rejected(&cp.rejected_ids);
             *shard_commits.lock() = cp
                 .shard_commits
                 .iter()
@@ -1100,7 +1193,6 @@ impl Evaluation {
                 let submitted = &submitted;
                 let rejected = &rejected;
                 let retried = &retried;
-                let rejected_ids = &rejected_ids;
                 let machine = self.config.machine;
                 let dobs = dobs.clone();
                 let abort = &abort;
@@ -1131,7 +1223,7 @@ impl Evaluation {
                         let start = clock.now();
                         // Register before submitting so a fast commit can
                         // never race past the tracker.
-                        tracker.lock().insert(id, client_id, server_id, start);
+                        tracker.insert(id, client_id, server_id, start);
                         submitted.fetch_add(1, Ordering::Relaxed);
                         dobs.submitted.inc();
                         if !retry.enabled() {
@@ -1139,8 +1231,7 @@ impl Evaluation {
                             // driver (no clone, no policy consultation).
                             if chain.submit(tx).is_err() {
                                 rejected.fetch_add(1, Ordering::Relaxed);
-                                rejected_ids.lock().insert(id);
-                                let _ = tracker.lock().complete(&id, start, false);
+                                tracker.reject(&id, start);
                             } else if dobs.on() {
                                 dobs.obs
                                     .spans()
@@ -1195,7 +1286,7 @@ impl Evaluation {
                                         give_up_at,
                                     ) {
                                         RetryDecision::Drop => {
-                                            let _ = tracker.lock().abandon(
+                                            let _ = tracker.abandon(
                                                 &id,
                                                 clock.now(),
                                                 TxStatus::Dropped,
@@ -1209,7 +1300,7 @@ impl Evaluation {
                                             break;
                                         }
                                         RetryDecision::Expire => {
-                                            let _ = tracker.lock().abandon(
+                                            let _ = tracker.abandon(
                                                 &id,
                                                 clock.now(),
                                                 TxStatus::Expired,
@@ -1235,8 +1326,7 @@ impl Evaluation {
                                 }
                                 Err(_) => {
                                     rejected.fetch_add(1, Ordering::Relaxed);
-                                    rejected_ids.lock().insert(id);
-                                    let _ = tracker.lock().complete(&id, start, false);
+                                    tracker.reject(&id, start);
                                     break;
                                 }
                             }
@@ -1283,7 +1373,6 @@ impl Evaluation {
                 killed: &killed,
                 abort: &abort,
                 retried: &retried,
-                rejected_ids: &rejected_ids,
                 workload_seed: workload.seed,
                 total: control.total(),
             });
@@ -1343,12 +1432,8 @@ impl Evaluation {
         }
 
         // ---- Report (Fig. 3, step 7) ----
-        let tracker = Arc::try_unwrap(tracker)
-            .unwrap_or_else(|_| panic!("tracker still shared after scope"))
-            .into_inner();
         let index_stats = tracker.index_stats();
-        let mut records = tracker.into_records();
-        let rejected_ids = rejected_ids.into_inner();
+        let (mut records, rejected_ids) = tracker.finish();
         // Anything still pending after the drain deadline timed out.
         for record in &mut records {
             if record.status == TxStatus::Pending {
@@ -1581,7 +1666,7 @@ fn record_to_status(record: &TxRecord) -> StatusRecord {
 fn polling_monitor(
     chain: Arc<dyn BlockchainClient>,
     clock: hammer_net::SimClock,
-    tracker: Arc<Mutex<Box<dyn Tracker>>>,
+    tracker: Arc<dyn Tracker>,
     done: &AtomicBool,
     deadline: &Mutex<Option<Duration>>,
     poll_interval: Duration,
@@ -1600,6 +1685,10 @@ fn polling_monitor(
     // blocks committed during the final poll window still match before
     // the stragglers are declared timed out.
     let mut final_pass = false;
+    // Reused per-block scratch: the block's entries, and the records that
+    // completed against them.
+    let mut entries: Vec<(TxId, bool)> = Vec::new();
+    let mut matched: Vec<TxRecord> = Vec::new();
     loop {
         for shard in 0..shards {
             let height = match chain.latest_height(shard) {
@@ -1620,33 +1709,36 @@ fn polling_monitor(
                     // Batch baseline: the poll time stands in (ξ1 skew).
                     _ => clock.now(),
                 };
-                let mut tracker = tracker.lock();
+                // Batched fan-out: collect the block's entries once, let
+                // the tracker group them by shard and take each shard
+                // lock once per block, then post-process the completed
+                // records without holding any tracker lock.
+                entries.clear();
+                entries.extend(block.entries());
+                matched.clear();
+                tracker.complete_block(&entries, end, &mut matched);
                 let mut committed_here = 0usize;
-                for (tx_id, ok) in block.entries() {
-                    if let Some(record) = tracker.complete(&tx_id, end, ok) {
-                        if ok {
-                            committed_here += 1;
-                        }
+                for record in &matched {
+                    if record.status == TxStatus::Committed {
+                        committed_here += 1;
+                    }
+                    if dobs.on() {
+                        dobs.obs
+                            .spans()
+                            .record(Stage::InBlock, end.saturating_sub(record.start));
+                        dobs.obs
+                            .spans()
+                            .record(Stage::Matched, clock.now().saturating_sub(end));
+                    }
+                    if let Some(syncer) = &syncer {
+                        syncer.publish(&record_to_status(record));
                         if dobs.on() {
                             dobs.obs
                                 .spans()
-                                .record(Stage::InBlock, end.saturating_sub(record.start));
-                            dobs.obs
-                                .spans()
-                                .record(Stage::Matched, clock.now().saturating_sub(end));
-                        }
-                        if let Some(syncer) = &syncer {
-                            syncer.publish(&record_to_status(&record));
-                            if dobs.on() {
-                                dobs.obs.spans().record(
-                                    Stage::Recorded,
-                                    clock.now().saturating_sub(record.start),
-                                );
-                            }
+                                .record(Stage::Recorded, clock.now().saturating_sub(record.start));
                         }
                     }
                 }
-                drop(tracker);
                 if committed_here > 0 {
                     *shard_commits.lock().entry(shard).or_insert(0) += committed_here;
                 }
@@ -1656,21 +1748,23 @@ fn polling_monitor(
             observer.poll();
         }
         if dobs.on() {
-            dobs.pending.set(tracker.lock().pending() as u64);
+            dobs.pending.set(tracker.pending() as u64);
         }
         if let Some(ctx) = checkpoint.as_mut() {
-            if ctx.observe(clock.now(), &tracker, &last_seen, &shard_commits) {
+            if ctx.observe(clock.now(), &*tracker, &last_seen, &shard_commits) {
                 return; // killed: exit without a further snapshot
             }
         }
         if let Some(dog) = watchdog.as_mut() {
-            let pending = tracker.lock().pending();
+            // `pending()` sums across shards; the watchdog's activity
+            // signature only needs the aggregate to detect a freeze.
+            let pending = tracker.pending();
             if dog.check(clock.now(), pending, dobs.obs.journal()) {
                 return; // stalled: the abort flag winds the run down
             }
         }
         if done.load(Ordering::Acquire) {
-            let pending = tracker.lock().pending();
+            let pending = tracker.pending();
             if pending == 0 {
                 return;
             }
@@ -1693,7 +1787,7 @@ fn polling_monitor(
 fn interactive_monitor(
     rx: Receiver<hammer_chain::client::CommitEvent>,
     clock: hammer_net::SimClock,
-    tracker: Arc<Mutex<Box<dyn Tracker>>>,
+    tracker: Arc<dyn Tracker>,
     done: &AtomicBool,
     deadline: &Mutex<Option<Duration>>,
     listen_cost: Duration,
@@ -1724,10 +1818,7 @@ fn interactive_monitor(
                 // resource wastage the paper attributes to interactive
                 // testing under heavy load.
                 clock.sleep(per_event);
-                let record =
-                    tracker
-                        .lock()
-                        .complete(&event.tx_id, event.committed_at, event.success);
+                let record = tracker.complete(&event.tx_id, event.committed_at, event.success);
                 if let Some(record) = record {
                     if event.success {
                         *shard_commits.lock().entry(event.shard).or_insert(0) += 1;
@@ -1759,16 +1850,16 @@ fn interactive_monitor(
             observer.poll();
         }
         if dobs.on() {
-            dobs.pending.set(tracker.lock().pending() as u64);
+            dobs.pending.set(tracker.pending() as u64);
         }
         if let Some(dog) = watchdog.as_mut() {
-            let pending = tracker.lock().pending();
+            let pending = tracker.pending();
             if dog.check(clock.now(), pending, dobs.obs.journal()) {
                 return; // stalled: the abort flag winds the run down
             }
         }
         if done.load(Ordering::Acquire) {
-            let pending = tracker.lock().pending();
+            let pending = tracker.pending();
             if pending == 0 {
                 return;
             }

@@ -50,6 +50,22 @@ pub struct IndexStats {
     /// Lookups that passed the Bloom filter but were not in the index
     /// (Bloom false positives or already-completed duplicates).
     pub misses: u64,
+    /// Times the Bloom filter was rebuilt: rotations forced by
+    /// saturation (insertions past the design capacity would silently
+    /// degrade the false-positive rate) plus compactions.
+    pub bloom_rebuilds: u64,
+}
+
+impl IndexStats {
+    /// Accumulates another table's counters into this one — how a
+    /// sharded tracker presents a single-table view of its shards.
+    pub fn merge(&mut self, other: &IndexStats) {
+        self.probe_steps += other.probe_steps;
+        self.expansions += other.expansions;
+        self.bloom_rejections += other.bloom_rejections;
+        self.misses += other.misses;
+        self.bloom_rebuilds += other.bloom_rebuilds;
+    }
 }
 
 const EMPTY: u64 = u64::MAX;
@@ -128,6 +144,12 @@ impl TxTable {
         if (self.records.len() + 1) * 10 > self.slots.len() * 7 {
             self.expand();
         }
+        // Rotate a saturated Bloom filter: past its design capacity the
+        // false-positive rate degrades silently, so rebuild it over the
+        // current records with doubled headroom.
+        if self.bloom.len() >= self.bloom.capacity() {
+            self.rotate_bloom();
+        }
         let idx = self.records.len() as u64;
         self.records.push(TxRecord {
             tx_id,
@@ -161,6 +183,18 @@ impl TxTable {
             }
             self.slots[slot] = idx as u64;
         }
+    }
+
+    /// Rebuilds the Bloom filter over every current record (completed
+    /// ones included — duplicate block sightings must still pass the
+    /// filter and resolve through the index) with capacity doubled, so
+    /// the false-positive rate returns to the design point.
+    fn rotate_bloom(&mut self) {
+        self.bloom = BloomFilter::new(self.records.len().max(512) * 2, 0.01);
+        for record in &self.records {
+            self.bloom.insert(record.tx_id.fingerprint());
+        }
+        self.stats.bloom_rebuilds += 1;
     }
 
     /// Looks up a record index by id (Bloom filter first, then the hash
@@ -198,11 +232,24 @@ impl TxTable {
     /// block time as its end time. Returns `true` when the transaction was
     /// pending in this table.
     pub fn complete(&mut self, tx_id: &TxId, end: Duration, success: bool) -> bool {
+        self.complete_record(tx_id, end, success).is_some()
+    }
+
+    /// Like [`TxTable::complete`], but returns the finished record so
+    /// callers (the driver's live-sync pipeline) can publish it without a
+    /// second index lookup. `None` when the transaction was not pending
+    /// here (foreign, unknown, or a duplicate sighting).
+    pub fn complete_record(
+        &mut self,
+        tx_id: &TxId,
+        end: Duration,
+        success: bool,
+    ) -> Option<&TxRecord> {
         match self.find(tx_id) {
             Some(idx) => {
                 let record = &mut self.records[idx];
                 if record.status != TxStatus::Pending {
-                    return false; // duplicate block sighting
+                    return None; // duplicate block sighting
                 }
                 record.end = Some(end);
                 record.status = if success {
@@ -211,9 +258,9 @@ impl TxTable {
                     TxStatus::Failed
                 };
                 self.live -= 1;
-                true
+                Some(&self.records[idx])
             }
-            None => false,
+            None => None,
         }
     }
 
@@ -278,6 +325,7 @@ impl TxTable {
         let slot_count = (self.records.len().max(16) * 2).next_power_of_two();
         self.slots = vec![EMPTY; slot_count];
         self.bloom = BloomFilter::new(self.records.len().max(1024), 0.01);
+        self.stats.bloom_rebuilds += 1;
         for (idx, record) in self.records.iter().enumerate() {
             self.bloom.insert(record.tx_id.fingerprint());
             let mut slot = (record.tx_id.fingerprint() % slot_count as u64) as usize;
@@ -426,6 +474,57 @@ mod tests {
         }
         assert_eq!(table.compact(), 0);
         assert_eq!(table.len(), 10);
+    }
+
+    #[test]
+    fn saturated_bloom_rotates_and_recovers_fp_rate() {
+        // Capacity 100 floors the Bloom at 1024; pushing well past that
+        // must trigger at least one rotation instead of letting the
+        // false-positive rate degrade silently.
+        let mut table = TxTable::with_capacity(100);
+        for i in 0..8_000 {
+            table.insert(tx_id(i), 0, 0, Duration::ZERO);
+        }
+        assert!(table.stats().bloom_rebuilds >= 1, "{:?}", table.stats());
+        // Every insert is still findable through the rotated filter (no
+        // false negatives across the rebuild)...
+        for i in 0..8_000 {
+            assert!(
+                table.complete(&tx_id(i), Duration::from_secs(1), true),
+                "{i}"
+            );
+        }
+        // ...and foreign ids are still overwhelmingly rejected by it: a
+        // saturated un-rotated filter would pass nearly everything.
+        let stats_before = table.stats();
+        for i in 100_000..101_000 {
+            assert!(!table.complete(&tx_id(i), Duration::from_secs(1), true));
+        }
+        let rejected = table.stats().bloom_rejections - stats_before.bloom_rejections;
+        assert!(rejected > 900, "only {rejected}/1000 foreign ids rejected");
+    }
+
+    #[test]
+    fn stats_merge_sums_fields() {
+        let a = IndexStats {
+            probe_steps: 1,
+            expansions: 2,
+            bloom_rejections: 3,
+            misses: 4,
+            bloom_rebuilds: 5,
+        };
+        let mut b = a;
+        b.merge(&a);
+        assert_eq!(
+            b,
+            IndexStats {
+                probe_steps: 2,
+                expansions: 4,
+                bloom_rejections: 6,
+                misses: 8,
+                bloom_rebuilds: 10,
+            }
+        );
     }
 
     #[test]

@@ -1,19 +1,23 @@
 #!/usr/bin/env sh
-# Runs the `roundtrip` and `obs_overhead` Criterion groups and snapshots
-# machine-readable results (one JSON object per line, appended by the
-# harness via CRITERION_JSON) to BENCH_roundtrip.json and
-# BENCH_obs_overhead.json. Exits non-zero if
+# Runs the `roundtrip` and `obs_overhead` Criterion groups and the
+# `driver_ceiling` sweep, snapshotting machine-readable results (one JSON
+# object per line, appended by the harness via CRITERION_JSON) to
+# BENCH_roundtrip.json, BENCH_obs_overhead.json, and
+# BENCH_driver_ceiling.json. Exits non-zero if
 #   * the windowed fixed-base modexp does not hold its >=3x speedup over
 #     generic square-and-multiply, or
 #   * signing through a *disabled* observability context costs more than
-#     5% over the plain path (the near-zero-when-off guarantee).
+#     5% over the plain path (the near-zero-when-off guarantee), or
+#   * the driver_ceiling sweep fails its accounting identity or cannot
+#     sustain the million-record in-flight depth.
 #
-# Usage: scripts/bench_snapshot.sh [roundtrip.json] [obs_overhead.json]
+# Usage: scripts/bench_snapshot.sh [roundtrip.json] [obs_overhead.json] [driver_ceiling.json]
 set -eu
 
 cd "$(dirname "$0")/.."
 OUT="${1:-BENCH_roundtrip.json}"
 OBS_OUT="${2:-BENCH_obs_overhead.json}"
+CEILING_OUT="${3:-BENCH_driver_ceiling.json}"
 abspath() {
     case "$1" in
         /*) printf '%s\n' "$1" ;;
@@ -62,3 +66,13 @@ awk -v p="$plain" -v d="$disabled" 'BEGIN {
     }
 }'
 echo "snapshot written to $OBS_OUT"
+
+CEILING_OUT_ABS="$(abspath "$CEILING_OUT")"
+# Full sweep: 1M sustained in-flight records, single-lock (shards=1)
+# baseline against the sharded tracker. The bin asserts the accounting
+# identity internally and writes its JSON summary, which we adopt as the
+# committed snapshot.
+cargo run --release --offline -p bench --bin driver_ceiling -- \
+    --inflight 1000000 --blocks 50 --block-size 10000 --shards 1,2,4,8,16
+cp target/bench-results/driver_ceiling.json "$CEILING_OUT_ABS"
+echo "snapshot written to $CEILING_OUT"

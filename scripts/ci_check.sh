@@ -83,6 +83,17 @@ awk -v p="$plain" -v d="$disabled" 'BEGIN {
     }
 }'
 
+echo "==> driver-ceiling smoke: sharded tracker accounting identity"
+# Small sweep point (2 shards x 50k in-flight) of the driver_ceiling
+# bench: the bin asserts the accounting identity internally and exits
+# non-zero on any mismatch; the grep pins the summary line too.
+ceiling_out=$(cargo run --release --offline -p bench --bin driver_ceiling -- --smoke)
+echo "$ceiling_out" | tail -n 3
+if ! echo "$ceiling_out" | grep -q 'accounting identity holds'; then
+    echo "ci_check: driver_ceiling accounting identity missing" >&2
+    exit 1
+fi
+
 echo "==> chaos smoke: seeded schedules x all backends, invariant oracle"
 # Fixed small matrix (3 seeds, 20 one-second slices) so the gate stays
 # well under a minute on a 1-core host; the full acceptance matrix is

@@ -215,6 +215,78 @@ fn killed_driver_resumes_and_matches_the_uninterrupted_run() {
     );
 }
 
+/// The same kill/resume round trip with the tracker explicitly sharded:
+/// the HMCP checkpoint is written from the all-shards-locked aggregate
+/// snapshot and replayed back across shards on resume, so the resumed
+/// report's deterministic projection must still match an uninterrupted
+/// run field for field — the checkpoint codec never sees the sharding.
+#[test]
+fn sharded_tracker_checkpoint_roundtrip_matches_uninterrupted_run() {
+    let _guard = common::serial_guard();
+    let registry = BackendRegistry::builtin();
+    let workload = recovery_workload();
+    let control = ControlSequence::constant(100, 4, Duration::from_secs(1));
+    let sharded_config = || {
+        EvalConfig::builder()
+            .machine(ClientMachine::unconstrained())
+            .poll_interval(Duration::from_millis(50))
+            .drain_timeout(Duration::from_secs(120))
+            .retry(RetryPolicy::standard())
+            .tracker_shards(4)
+            .build()
+            .unwrap()
+    };
+
+    let baseline_deploy = registry
+        .deploy("neuchain-sim", &BackendOptions::default(), 200.0)
+        .unwrap();
+    let baseline = Evaluation::new(sharded_config())
+        .run(&baseline_deploy, &workload, &control)
+        .unwrap();
+    drop(baseline_deploy);
+    assert_eq!(baseline.committed, 400, "clean run commits everything");
+
+    let store = Arc::new(KvStore::new());
+    let deployment = registry
+        .deploy("neuchain-sim", &BackendOptions::default(), 200.0)
+        .unwrap();
+    let killed = Evaluation::new(sharded_config()).run_recoverable(
+        &deployment,
+        &workload,
+        &control,
+        &RecoveryConfig::new(
+            Arc::clone(&store),
+            "sharded-resume",
+            Duration::from_millis(200),
+        )
+        .kill_at(Duration::from_millis(1_700)),
+    );
+    assert!(matches!(killed, Err(EvalError::Killed)), "{killed:?}");
+
+    let resumed = Evaluation::new(sharded_config())
+        .run_recoverable(
+            &deployment,
+            &workload,
+            &control,
+            &RecoveryConfig::new(
+                Arc::clone(&store),
+                "sharded-resume",
+                Duration::from_millis(200),
+            ),
+        )
+        .expect("resume completes");
+
+    assert_eq!(
+        projection(&resumed),
+        projection(&baseline),
+        "sharded resume must match the uninterrupted run"
+    );
+    assert!(
+        store.get("hammer/checkpoint/sharded-resume").is_none(),
+        "a completed run deletes its checkpoint"
+    );
+}
+
 /// A checkpoint taken under one run must not silently resume a different
 /// one: a mismatched workload seed is refused with a typed error.
 #[test]
