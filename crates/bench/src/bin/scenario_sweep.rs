@@ -1,0 +1,205 @@
+//! **Scenario sweep** — the shipped scenario corpus, retargeted across
+//! every registered backend and graded by its own expectations.
+//!
+//! Each cell loads a named corpus scenario (`hammer_core::scenario::corpus`),
+//! retargets it to the backend's calibrated operating point (same
+//! window shape, average rate scaled to the backend's moderate
+//! under-capacity rate), runs it through the unmodified driver, and
+//! prints the per-expectation verdict. `crash-during-drain` cells
+//! exercise the checkpoint/kill/resume path on every backend.
+//!
+//! ```text
+//! cargo run --release --bin scenario_sweep -- [--smoke] [--list]
+//!     [--scenario NAME] [--backend NAME]
+//! ```
+//!
+//! Emits a JSON verdict matrix to
+//! `target/bench-results/scenario_sweep.json` and a final summary line
+//! (`scenario sweep: R runs, V expectation violations`) that CI greps
+//! for `0 expectation violations`.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use hammer_core::chaos::live_threads;
+use hammer_core::scenario::{corpus, Verdict};
+use hammer_store::report::render_table;
+
+/// (backend, average rate tx/s, speedup) — the chaos-sweep operating
+/// points: moderate rates well under capacity so the scenario's own
+/// shape and faults, not saturation, decide the verdict.
+const OPERATING_POINTS: [(&str, u32, f64); 4] = [
+    ("ethereum-sim", 40, 100.0),
+    ("fabric-sim", 150, 100.0),
+    ("meepo-sim", 300, 50.0),
+    ("neuchain-sim", 500, 100.0),
+];
+
+/// The smoke gate: two fast scenarios on the two fastest backends.
+const SMOKE_SCENARIOS: [&str; 2] = ["nft-flash-crowd-mint", "partition-then-heal"];
+const SMOKE_BACKENDS: [&str; 2] = ["fabric-sim", "neuchain-sim"];
+
+fn usage() -> ! {
+    eprintln!("usage: scenario_sweep [--smoke] [--list] [--scenario NAME] [--backend NAME]");
+    std::process::exit(2);
+}
+
+struct Args {
+    smoke: bool,
+    scenario: Option<String>,
+    backend: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        smoke: false,
+        scenario: None,
+        backend: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--smoke" => parsed.smoke = true,
+            "--list" => {
+                for name in corpus::names() {
+                    let scenario = corpus::load(name).expect("corpus scenario must parse");
+                    println!("{name}: {}", scenario.description());
+                }
+                std::process::exit(0);
+            }
+            "--scenario" => parsed.scenario = Some(value()),
+            "--backend" => parsed.backend = Some(value()),
+            _ => usage(),
+        }
+    }
+    parsed
+}
+
+fn main() {
+    let args = parse_args();
+    let scenarios: Vec<&str> = corpus::names()
+        .into_iter()
+        .filter(|n| {
+            args.scenario.as_deref().is_none_or(|only| only == *n)
+                && (!args.smoke || SMOKE_SCENARIOS.contains(n))
+        })
+        .collect();
+    let backends: Vec<(&str, u32, f64)> = OPERATING_POINTS
+        .into_iter()
+        .filter(|(b, _, _)| {
+            args.backend.as_deref().is_none_or(|only| only == *b)
+                && (!args.smoke || SMOKE_BACKENDS.contains(b))
+        })
+        .collect();
+    if scenarios.is_empty() || backends.is_empty() {
+        eprintln!("nothing to run (unknown scenario or backend filter?)");
+        usage();
+    }
+    println!(
+        "=== Scenario sweep: {} scenarios x {} backends ===\n",
+        scenarios.len(),
+        backends.len()
+    );
+
+    // Deployment teardown joins node threads, but the simulator's
+    // scheduler winds down asynchronously. Ethereum's miner burns real
+    // CPU per block, and at 100x speedup any wall-clock contention from
+    // a previous cell's stragglers is amplified 100x into simulated
+    // block gaps — enough to trip the stall watchdog. Settle between
+    // cells like the chaos harness does.
+    let thread_baseline = live_threads();
+    let settle = |label: &str| {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while live_threads() > thread_baseline && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let leftover = live_threads();
+        if leftover > thread_baseline {
+            eprintln!(
+                "  warning: {} threads still live after {label} (baseline {})",
+                leftover, thread_baseline
+            );
+        }
+    };
+
+    let mut rows = Vec::new();
+    let mut verdicts: Vec<Verdict> = Vec::new();
+    for name in &scenarios {
+        let authored = corpus::load(name).expect("corpus scenario must parse");
+        let native_rate =
+            authored.control().total() as f64 / authored.control().duration().as_secs_f64();
+        for (backend, rate, speedup) in &backends {
+            let scale = f64::from(*rate) / native_rate;
+            eprintln!("running {name} on {backend} at ~{rate} tx/s ({speedup}x)...");
+            let scenario = authored
+                .retarget(backend, *speedup, scale)
+                .expect("retargeting a corpus scenario must validate");
+            let verdict = scenario.run().unwrap_or_else(|e| {
+                eprintln!("  RUN FAILED: {e}");
+                std::process::exit(1);
+            });
+            rows.push(vec![
+                (*name).to_owned(),
+                (*backend).to_owned(),
+                verdict.report.committed.to_string(),
+                if verdict.stalled { "yes" } else { "no" }.to_owned(),
+                if verdict.passed() { "pass" } else { "FAIL" }.to_owned(),
+                verdict
+                    .violations()
+                    .iter()
+                    .map(|c| c.name)
+                    .collect::<Vec<_>>()
+                    .join(","),
+            ]);
+            for violation in verdict.violations() {
+                eprintln!("  VIOLATION {}: {}", violation.name, violation.detail);
+            }
+            verdicts.push(verdict);
+            settle(name);
+        }
+    }
+
+    println!(
+        "\n{}",
+        render_table(
+            &[
+                "scenario",
+                "backend",
+                "committed",
+                "stalled",
+                "verdict",
+                "violations"
+            ],
+            &rows
+        )
+    );
+
+    let mut json = String::from("{\n  \"runs\": [\n");
+    for (i, verdict) in verdicts.iter().enumerate() {
+        if i > 0 {
+            json.push_str(",\n");
+        }
+        let _ = write!(json, "    {}", verdict.to_json());
+    }
+    json.push_str("\n  ]\n}\n");
+    let dir = std::path::Path::new("target/bench-results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create {dir:?}: {e}");
+    } else {
+        let path = dir.join("scenario_sweep.json");
+        match std::fs::write(&path, &json) {
+            Ok(()) => println!("[saved {}]", path.display()),
+            Err(e) => eprintln!("warning: cannot write {path:?}: {e}"),
+        }
+    }
+
+    let violations: usize = verdicts.iter().map(|v| v.violations().len()).sum();
+    println!(
+        "scenario sweep: {} runs, {violations} expectation violations",
+        verdicts.len()
+    );
+    if violations > 0 {
+        std::process::exit(1);
+    }
+}

@@ -49,7 +49,9 @@ pub struct InvariantCheck {
 }
 
 impl InvariantCheck {
-    fn pass(name: &'static str, detail: impl Into<String>) -> Self {
+    /// A passing check (crate-internal: the chaos oracle and the scenario
+    /// expectation layer are the only factories of evidence rows).
+    pub(crate) fn pass(name: &'static str, detail: impl Into<String>) -> Self {
         InvariantCheck {
             name,
             passed: true,
@@ -57,7 +59,8 @@ impl InvariantCheck {
         }
     }
 
-    fn fail(name: &'static str, detail: impl Into<String>) -> Self {
+    /// A failing check (crate-internal, see [`InvariantCheck::pass`]).
+    pub(crate) fn fail(name: &'static str, detail: impl Into<String>) -> Self {
         InvariantCheck {
             name,
             passed: false,

@@ -61,6 +61,7 @@ pub mod index;
 pub mod machine;
 pub mod multi;
 pub mod retry;
+pub mod scenario;
 pub mod shard;
 pub mod signer;
 pub mod sync;
@@ -77,4 +78,5 @@ pub use index::{TxRecord, TxTable};
 pub use machine::ClientMachine;
 pub use multi::{run_distributed, MultiDriverReport};
 pub use retry::RetryPolicy;
+pub use scenario::{Expectation, Scenario, ScenarioBuilder, ScenarioError, Verdict};
 pub use shard::ShardedTxTable;

@@ -20,7 +20,10 @@
 
 use std::time::Duration;
 
-use crate::fault::{Fault, FaultPlan, FaultWindow};
+// One-stop prelude: a scenario layer composing generated schedules with
+// scripted windows imports `hammer_net::chaos` alone — the underlying
+// fault-plan vocabulary is re-exported here next to the generator.
+pub use crate::fault::{Fault, FaultPlan, FaultPlanError, FaultWindow, NodeFault};
 
 /// Fault targets discovered from a deployed chain: the nodes that accept
 /// client traffic and the nodes that drive block/epoch production.

@@ -306,22 +306,23 @@ impl SimNetwork {
     /// this network's clock on every send; chain simulators additionally
     /// consult [`SimNetwork::node_fault`] to gate production and ingress.
     ///
-    /// This is the infallible path for hand-written fixtures: shape
-    /// errors panic, and node names are *not* checked against the
-    /// registered endpoints (so a plan may be installed before the chain
-    /// deploys). Generated or user-supplied plans should go through
-    /// [`SimNetwork::try_install_faults`], which also validates the
-    /// topology and returns a typed error.
+    /// This is the infallible convenience for hand-written fixtures: it
+    /// is exactly [`SimNetwork::try_install_faults`] with the error
+    /// unwrapped, so both entry points share one validation code path
+    /// (plan shape *and* topology). Install after the chain has deployed
+    /// so the plan's node names can be checked against the registered
+    /// endpoints; generated or user-supplied plans should prefer the
+    /// fallible variant and handle the typed error.
     ///
     /// # Panics
     ///
     /// Panics when the plan contains an empty or inverted window, an
-    /// ambiguous partition, or contradictory overlapping windows —
-    /// scripted faults are test fixtures and a malformed one is a
-    /// programming error.
+    /// ambiguous partition, contradictory overlapping windows, or a node
+    /// name that is not a registered endpoint — scripted faults are test
+    /// fixtures and a malformed one is a programming error.
     pub fn install_faults(&self, plan: FaultPlan) {
-        plan.validate().expect("fault plan must be valid");
-        *self.shared.faults.lock() = Some(Arc::new(plan));
+        self.try_install_faults(plan)
+            .expect("fault plan must be valid");
     }
 
     /// Fallible fault installation: validates the plan's shape *and*
@@ -844,7 +845,19 @@ mod tests {
     fn installing_inverted_window_panics() {
         use crate::fault::FaultPlan;
         let net = fast_net();
+        let _x = net.register("x");
         net.install_faults(FaultPlan::new().crash("x", Duration::from_secs(2), Duration::ZERO));
+    }
+
+    #[test]
+    #[should_panic(expected = "fault plan must be valid")]
+    fn installing_against_unknown_node_panics() {
+        // `install_faults` shares `try_install_faults`' validation —
+        // including the topology check — so a typo'd node name is a
+        // programming error, not a window that silently never fires.
+        use crate::fault::FaultPlan;
+        let net = fast_net();
+        net.install_faults(FaultPlan::new().crash("ghost", Duration::ZERO, Duration::from_secs(1)));
     }
 
     #[test]
@@ -920,6 +933,7 @@ mod tests {
         let clock = SimClock::with_speedup(100.0);
         let net = SimNetwork::new(clock.clone(), LinkConfig::ideal());
         net.install_obs(hammer_obs::Obs::new());
+        let _n = net.register("n");
         net.install_faults(FaultPlan::new().crash(
             "n",
             Duration::from_secs(5),

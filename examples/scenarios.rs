@@ -1,0 +1,65 @@
+//! Run shipped evaluation scenarios by name — the scenario corpus is
+//! data (`scenarios/*.json`), and this example is the whole harness a
+//! user needs around it.
+//!
+//! ```text
+//! cargo run --release --example scenarios                  # list the corpus
+//! cargo run --release --example scenarios -- partition-then-heal
+//! cargo run --release --example scenarios -- all           # run everything
+//! ```
+
+use hammer::core::scenario::corpus;
+
+fn run_one(name: &str) -> usize {
+    let scenario = match corpus::load(name) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot load {name:?}: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!("== {} on {} ==", scenario.name(), scenario.backend());
+    println!("   {}", scenario.description());
+    let verdict = match scenario.run() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("run failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    for check in &verdict.checks {
+        println!(
+            "   [{}] {}: {}",
+            if check.passed { "pass" } else { "FAIL" },
+            check.name,
+            check.detail
+        );
+    }
+    println!(
+        "   {} committed / {} submitted, verdict: {}\n",
+        verdict.report.committed,
+        verdict.report.submitted,
+        if verdict.passed() { "PASS" } else { "FAIL" }
+    );
+    verdict.violations().len()
+}
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let violations = match arg.as_deref() {
+        None => {
+            println!("shipped scenarios (pass a name, or `all`):\n");
+            for name in corpus::names() {
+                let scenario = corpus::load(name).expect("corpus scenario must parse");
+                println!("  {name} [{}]", scenario.backend());
+                println!("      {}", scenario.description());
+            }
+            return;
+        }
+        Some("all") => corpus::names().into_iter().map(run_one).sum::<usize>(),
+        Some(name) => run_one(name),
+    };
+    if violations > 0 {
+        std::process::exit(1);
+    }
+}

@@ -107,4 +107,29 @@ if ! echo "$chaos_out" | grep -q ', 0 invariant violations'; then
     exit 1
 fi
 
+echo "==> scenario smoke: corpus scenarios graded by their expectations"
+# Two fast corpus scenarios x two fast backends through the scenario
+# DSL (retarget + run + expectation grading); the full matrix is the
+# bare `scenario_sweep` (6 scenarios x 4 backends). The binary exits
+# non-zero on any expectation violation; the grep pins the summary.
+scenario_out=$(cargo run --release --offline -p bench --bin scenario_sweep -- --smoke)
+echo "$scenario_out" | tail -n 1
+if ! echo "$scenario_out" | grep -q ', 0 expectation violations'; then
+    echo "ci_check: scenario sweep reported expectation violations" >&2
+    exit 1
+fi
+
+echo "==> grep gate: EvalConfig is built, never constructed"
+# The validating builder is the only way to make an EvalConfig; a
+# struct literal would bypass every invariant it enforces. Only the
+# defining module (driver.rs) may construct one.
+violations=$(grep -rn 'EvalConfig {' crates src examples tests benches 2>/dev/null \
+    | grep -v '^crates/hammer-core/src/driver.rs' \
+    | grep -vE -- '->[[:space:]]*&?EvalConfig \{' || true)
+if [ -n "$violations" ]; then
+    echo "ci_check: EvalConfig struct literal outside the driver builder:" >&2
+    echo "$violations" >&2
+    exit 1
+fi
+
 echo "ci_check: all gates passed"

@@ -32,10 +32,12 @@ fn run_neuchain(
 ) -> EvalReport {
     let clock = SimClock::with_speedup(speedup);
     let net = SimNetwork::new(clock.clone(), LinkConfig::cloud_100mbps());
+    // Deploy first: install_faults validates the plan against the live
+    // topology, so the node endpoints must already be registered.
+    let deployment = Deployment::up_on(ChainSpec::neuchain_default(), clock, net.clone());
     if let Some(plan) = plan {
         net.install_faults(plan);
     }
-    let deployment = Deployment::up_on(ChainSpec::neuchain_default(), clock, net);
     let workload = WorkloadConfig {
         accounts: 500,
         chain_name: "neuchain-sim".to_owned(),

@@ -29,10 +29,12 @@ fn run_neuchain(
     if let Some(obs) = obs {
         net.install_obs(obs);
     }
+    // Deploy first: install_faults validates the plan against the live
+    // topology, so the node endpoints must already be registered.
+    let deployment = Deployment::up_on(ChainSpec::neuchain_default(), clock, net.clone());
     if let Some(plan) = plan {
         net.install_faults(plan);
     }
-    let deployment = Deployment::up_on(ChainSpec::neuchain_default(), clock, net);
     let workload = WorkloadConfig {
         accounts: 500,
         chain_name: "neuchain-sim".to_owned(),
