@@ -10,8 +10,16 @@
 //!
 //! ```text
 //! cargo run --release --bin scenario_sweep -- [--smoke] [--list]
-//!     [--scenario NAME] [--backend NAME]
+//!     [--scenario NAME] [--backend NAME] [--deploy-mode in|multi]
+//!     [--crash-smoke]
 //! ```
+//!
+//! `--deploy-mode multi` reruns the selected cells with each backend as
+//! a supervised `node-host` OS process behind loopback TCP (build the
+//! binary first: `cargo build --release --bin node-host`).
+//! `--crash-smoke` runs one scripted multi-process scenario whose crash
+//! window SIGKILLs the real node process mid-run and asserts the
+//! supervisor restarted it with the accounting identity intact.
 //!
 //! Emits a JSON verdict matrix to
 //! `target/bench-results/scenario_sweep.json` and a final summary line
@@ -19,10 +27,12 @@
 //! for `0 expectation violations`.
 
 use std::fmt::Write as _;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use hammer_core::chaos::live_threads;
-use hammer_core::scenario::{corpus, Verdict};
+use hammer_core::deploy::DeployMode;
+use hammer_core::retry::RetryPolicy;
+use hammer_core::scenario::{corpus, FaultSpec, NodeRef, Scenario, Verdict};
 use hammer_store::report::render_table;
 
 /// (backend, average rate tx/s, speedup) — the chaos-sweep operating
@@ -40,7 +50,10 @@ const SMOKE_SCENARIOS: [&str; 2] = ["nft-flash-crowd-mint", "partition-then-heal
 const SMOKE_BACKENDS: [&str; 2] = ["fabric-sim", "neuchain-sim"];
 
 fn usage() -> ! {
-    eprintln!("usage: scenario_sweep [--smoke] [--list] [--scenario NAME] [--backend NAME]");
+    eprintln!(
+        "usage: scenario_sweep [--smoke] [--list] [--scenario NAME] [--backend NAME] \
+         [--deploy-mode in|multi] [--crash-smoke]"
+    );
     std::process::exit(2);
 }
 
@@ -48,6 +61,8 @@ struct Args {
     smoke: bool,
     scenario: Option<String>,
     backend: Option<String>,
+    deploy_mode: Option<DeployMode>,
+    crash_smoke: bool,
 }
 
 fn parse_args() -> Args {
@@ -55,6 +70,8 @@ fn parse_args() -> Args {
         smoke: false,
         scenario: None,
         backend: None,
+        deploy_mode: None,
+        crash_smoke: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -70,14 +87,76 @@ fn parse_args() -> Args {
             }
             "--scenario" => parsed.scenario = Some(value()),
             "--backend" => parsed.backend = Some(value()),
+            "--deploy-mode" => {
+                parsed.deploy_mode = Some(DeployMode::parse(&value()).unwrap_or_else(|| usage()))
+            }
+            "--crash-smoke" => parsed.crash_smoke = true,
             _ => usage(),
         }
     }
     parsed
 }
 
+/// The multi-process crash smoke: one scripted scenario whose crash
+/// window SIGKILLs the real `node-host` process. Passing means the
+/// supervisor delivered the kill AND restarted the node AND the run
+/// still completed with the accounting identity intact.
+fn crash_smoke() -> ! {
+    println!("=== Multi-process crash smoke: neuchain-sim behind loopback TCP ===");
+    let scenario = Scenario::builder("multi-process-crash-smoke")
+        .describe("crash window SIGKILLs the node-host process; the supervisor restarts it")
+        .backend("neuchain-sim")
+        .speedup(10.0)
+        .deploy_mode(DeployMode::MultiProcess)
+        .workload_with(|w| w.accounts = 100)
+        .constant_load(30, 8)
+        .retry(RetryPolicy::standard())
+        .fault(FaultSpec::Crash {
+            node: NodeRef::Ingress(0),
+            start: Duration::from_secs(2),
+            end: Duration::from_secs(4),
+        })
+        .expect_accounting_identity()
+        .expect_no_stall()
+        .build()
+        .expect("the crash smoke scenario is statically valid");
+    let verdict = scenario.run().unwrap_or_else(|e| {
+        eprintln!("RUN FAILED: {e}");
+        std::process::exit(1);
+    });
+    for check in &verdict.checks {
+        println!(
+            "  [{}] {}: {}",
+            if check.passed { "pass" } else { "FAIL" },
+            check.name,
+            check.detail
+        );
+    }
+    let stats = verdict.process_faults.unwrap_or_default();
+    println!(
+        "process faults: {} sigkills delivered, {} restarts",
+        stats.kills, stats.restarts
+    );
+    let ok = verdict.passed() && stats.kills >= 1 && stats.restarts >= 1;
+    println!(
+        "crash smoke: accounting identity {}, {} violations, kills={} restarts={}",
+        if verdict.passed() {
+            "holds"
+        } else {
+            "VIOLATED"
+        },
+        verdict.violations().len(),
+        stats.kills,
+        stats.restarts
+    );
+    std::process::exit(if ok { 0 } else { 1 });
+}
+
 fn main() {
     let args = parse_args();
+    if args.crash_smoke {
+        crash_smoke();
+    }
     let scenarios: Vec<&str> = corpus::names()
         .into_iter()
         .filter(|n| {
@@ -102,23 +181,19 @@ fn main() {
         backends.len()
     );
 
-    // Deployment teardown joins node threads, but the simulator's
-    // scheduler winds down asynchronously. Ethereum's miner burns real
-    // CPU per block, and at 100x speedup any wall-clock contention from
-    // a previous cell's stragglers is amplified 100x into simulated
-    // block gaps — enough to trip the stall watchdog. Settle between
-    // cells like the chaos harness does.
+    // Scenario teardown is deterministic: `run_on` shuts the deployment
+    // down and *joins* the network scheduler thread before returning, so
+    // nothing from a previous cell can contend with the next one (at
+    // 100x speedup, stray wall-clock contention amplifies into simulated
+    // block gaps big enough to trip the stall watchdog). The probe is
+    // therefore an immediate assertion, not a timed wait — a leftover
+    // thread here is a real leak.
     let thread_baseline = live_threads();
-    let settle = |label: &str| {
-        let deadline = Instant::now() + Duration::from_secs(5);
-        while live_threads() > thread_baseline && Instant::now() < deadline {
-            std::thread::sleep(Duration::from_millis(20));
-        }
+    let probe = |label: &str| {
         let leftover = live_threads();
         if leftover > thread_baseline {
             eprintln!(
-                "  warning: {} threads still live after {label} (baseline {})",
-                leftover, thread_baseline
+                "  warning: {leftover} threads still live after {label} (baseline {thread_baseline})"
             );
         }
     };
@@ -132,9 +207,16 @@ fn main() {
         for (backend, rate, speedup) in &backends {
             let scale = f64::from(*rate) / native_rate;
             eprintln!("running {name} on {backend} at ~{rate} tx/s ({speedup}x)...");
-            let scenario = authored
+            let mut scenario = authored
                 .retarget(backend, *speedup, scale)
                 .expect("retargeting a corpus scenario must validate");
+            if let Some(mode) = args.deploy_mode {
+                scenario = scenario
+                    .to_builder()
+                    .deploy_mode(mode)
+                    .build()
+                    .expect("a validated scenario stays valid under a deploy-mode change");
+            }
             let verdict = scenario.run().unwrap_or_else(|e| {
                 eprintln!("  RUN FAILED: {e}");
                 std::process::exit(1);
@@ -156,7 +238,7 @@ fn main() {
                 eprintln!("  VIOLATION {}: {}", violation.name, violation.detail);
             }
             verdicts.push(verdict);
-            settle(name);
+            probe(name);
         }
     }
 

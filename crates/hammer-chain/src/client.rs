@@ -99,6 +99,13 @@ pub enum ChainError {
         /// Endpoint name of the unavailable node.
         node: String,
     },
+    /// Wire-protocol violation: the peer sent bytes that cannot be a
+    /// well-formed frame or response (oversized length header, garbage
+    /// framing, mismatched call id). Unlike [`ChainError::Transport`]
+    /// this is *fatal*: a peer speaking garbage will not start speaking
+    /// sense on retry, so the connection is dropped and the request
+    /// fails.
+    Protocol(String),
 }
 
 impl ChainError {
@@ -132,6 +139,11 @@ impl ChainError {
         ChainError::Unavailable { node: node.into() }
     }
 
+    /// A wire-protocol violation (fatal; see [`ChainError::Protocol`]).
+    pub fn protocol(msg: impl Into<String>) -> Self {
+        ChainError::Protocol(msg.into())
+    }
+
     /// Classifies the error for retry decisions.
     pub fn kind(&self) -> ErrorKind {
         match self {
@@ -142,6 +154,7 @@ impl ChainError {
             ChainError::Shutdown => ErrorKind::Fatal,
             ChainError::Transport(_) => ErrorKind::Transient,
             ChainError::Unavailable { .. } => ErrorKind::Transient,
+            ChainError::Protocol(_) => ErrorKind::Fatal,
         }
     }
 
@@ -187,6 +200,7 @@ impl std::fmt::Display for ChainError {
             ChainError::Shutdown => write!(f, "chain has shut down"),
             ChainError::Transport(msg) => write!(f, "transport error: {msg}"),
             ChainError::Unavailable { node } => write!(f, "node {node} is unavailable"),
+            ChainError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
         }
     }
 }
@@ -293,6 +307,11 @@ mod tests {
                 ChainError::unavailable("peer-0"),
                 ErrorKind::Transient,
                 true,
+            ),
+            (
+                ChainError::protocol("oversized frame"),
+                ErrorKind::Fatal,
+                false,
             ),
         ];
         for (err, kind, retryable) in cases {

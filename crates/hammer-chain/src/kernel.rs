@@ -615,6 +615,30 @@ impl<P: ConsensusPolicy> ChainNode<P> {
         rpc_adapter::serve(Arc::clone(self) as Arc<dyn BlockchainClient>)
     }
 
+    /// Serves this chain over the JSON-RPC adapter *including* the
+    /// [`SimChain`] method set (account seeding, ledger verification,
+    /// fault-target discovery) — the surface a `node-host` process
+    /// exposes to the driver.
+    pub fn serve_rpc_sim(self: &Arc<Self>) -> hammer_rpc::transport::RpcServer
+    where
+        P: 'static,
+    {
+        rpc_adapter::serve_sim(Arc::clone(self) as Arc<dyn SimChain>)
+    }
+
+    /// Serves the full [`SimChain`] RPC surface on a real TCP listener at
+    /// `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port).
+    pub fn serve_rpc_tcp(
+        self: &Arc<Self>,
+        addr: &str,
+        config: hammer_net::TcpServerConfig,
+    ) -> std::io::Result<hammer_net::TcpRpcServer>
+    where
+        P: 'static,
+    {
+        rpc_adapter::serve_tcp(self.serve_rpc_sim(), addr, config)
+    }
+
     /// Requests shutdown and joins every kernel-spawned thread.
     /// Idempotent; never joins the calling thread (a policy worker may
     /// itself trigger shutdown).

@@ -21,6 +21,10 @@
 //! * [`codec`] — JSON encodings of the wire types.
 //! * [`rpc_adapter`] — exposes any `BlockchainClient` over JSON-RPC and
 //!   re-imports it as a client, proving language/architecture neutrality.
+//! * [`remote`] — [`remote::TcpChainClient`], the same generic interface
+//!   spoken over real TCP to a `node-host` process (multi-process deploy
+//!   mode), with restart-aware height virtualisation and graceful
+//!   degradation during fault windows.
 //! * [`kernel`] — the chain-node runtime: thread lifecycle with joined
 //!   shutdown, fault-gated mempool ingress, sealed-block accounting and
 //!   observability, and gossip fan-out — everything chain-agnostic, so a
@@ -35,6 +39,7 @@ pub mod events;
 pub mod kernel;
 pub mod ledger;
 pub mod mempool;
+pub mod remote;
 pub mod rpc_adapter;
 pub mod smallbank;
 pub mod state;
@@ -49,6 +54,7 @@ pub use kernel::{
 };
 pub use ledger::Ledger;
 pub use mempool::Mempool;
+pub use remote::TcpChainClient;
 pub use smallbank::{ExecError, Op, OpOutput};
 pub use state::{RwSet, VersionedState};
 pub use types::{

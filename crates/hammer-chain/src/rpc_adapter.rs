@@ -16,8 +16,10 @@ use hammer_rpc::transport::{RpcClient, RpcServer};
 
 use crate::client::{Architecture, BlockchainClient, ChainError, CommitEvent};
 use crate::codec;
+use crate::kernel::SimChain;
+use crate::ledger::LedgerError;
 use crate::mempool::MempoolError;
-use crate::types::{Block, SignedTransaction, TxId};
+use crate::types::{Address, Block, SignedTransaction, TxId};
 
 /// Application error codes used on the wire.
 mod codes {
@@ -27,6 +29,7 @@ mod codes {
     pub const UNKNOWN_SHARD: i64 = -1004;
     pub const SHUTDOWN: i64 = -1005;
     pub const UNAVAILABLE: i64 = -1006;
+    pub const PROTOCOL: i64 = -1007;
     pub const TRANSPORT: i64 = -1099;
 }
 
@@ -52,10 +55,11 @@ fn chain_error_to_rpc(err: ChainError) -> RpcError {
         ChainError::Unavailable { node } => {
             RpcError::application(codes::UNAVAILABLE, format!("node {node} is unavailable"))
         }
+        ChainError::Protocol(msg) => RpcError::application(codes::PROTOCOL, msg),
     }
 }
 
-fn rpc_error_to_chain(err: RpcError) -> ChainError {
+pub(crate) fn rpc_error_to_chain(err: RpcError) -> ChainError {
     match err.code.code() {
         codes::REJECTED_FULL => ChainError::rejected(MempoolError::Full),
         codes::REJECTED_DUP => ChainError::rejected(MempoolError::Duplicate),
@@ -63,6 +67,7 @@ fn rpc_error_to_chain(err: RpcError) -> ChainError {
         codes::UNKNOWN_SHARD => ChainError::unknown_shard(0),
         codes::SHUTDOWN => ChainError::shutdown(),
         codes::UNAVAILABLE => ChainError::unavailable(err.to_string()),
+        codes::PROTOCOL => ChainError::protocol(err.to_string()),
         _ => ChainError::transport(err.to_string()),
     }
 }
@@ -128,6 +133,133 @@ pub fn serve(chain: Arc<dyn BlockchainClient>) -> RpcServer {
         });
     }
     server
+}
+
+/// Encodes a [`LedgerError`] for the `verify_ledgers` wire response.
+fn encode_ledger_error(err: &LedgerError) -> Value {
+    match err {
+        LedgerError::HeightMismatch { expected, got } => Value::object([
+            ("kind", Value::from("height_mismatch")),
+            ("expected", Value::from(*expected)),
+            ("got", Value::from(*got)),
+        ]),
+        LedgerError::BrokenHashChain => Value::object([("kind", Value::from("broken_hash_chain"))]),
+        LedgerError::BadMerkleRoot => Value::object([("kind", Value::from("bad_merkle_root"))]),
+    }
+}
+
+pub(crate) fn decode_ledger_error(v: &Value) -> Option<LedgerError> {
+    match v.get("kind").and_then(Value::as_str)? {
+        "height_mismatch" => Some(LedgerError::HeightMismatch {
+            expected: v.get("expected").and_then(Value::as_u64).unwrap_or(0),
+            got: v.get("got").and_then(Value::as_u64).unwrap_or(0),
+        }),
+        "broken_hash_chain" => Some(LedgerError::BrokenHashChain),
+        "bad_merkle_root" => Some(LedgerError::BadMerkleRoot),
+        _ => None,
+    }
+}
+
+/// Exposes a full [`SimChain`] over JSON-RPC: everything [`serve`]
+/// registers plus the deployment-facing methods a supervisor and remote
+/// driver need — `seed_account`, `get_account`, `ingress_nodes`,
+/// `sealer_nodes`, `verify_ledgers`, `progress_mark`, and
+/// `shutdown_chain`. This is the method set a `node-host` process serves
+/// over TCP; addresses travel as decimal strings (the [`codec`] id
+/// convention).
+pub fn serve_sim(chain: Arc<dyn SimChain>) -> RpcServer {
+    let server = serve(Arc::clone(&chain) as Arc<dyn BlockchainClient>);
+    {
+        let chain = Arc::clone(&chain);
+        server.register("seed_account", move |params| {
+            let account = params
+                .get("account")
+                .and_then(Value::as_str)
+                .and_then(|s| s.parse::<u64>().ok())
+                .ok_or_else(|| RpcError::invalid_params("missing 'account' (u64 string)"))?;
+            let checking = params.get("checking").and_then(Value::as_u64).unwrap_or(0);
+            let savings = params.get("savings").and_then(Value::as_u64).unwrap_or(0);
+            chain.seed_account(Address(account), checking, savings);
+            Ok(Value::Null)
+        });
+    }
+    {
+        let chain = Arc::clone(&chain);
+        server.register("get_account", move |params| {
+            let account = params
+                .get("account")
+                .and_then(Value::as_str)
+                .and_then(|s| s.parse::<u64>().ok())
+                .ok_or_else(|| RpcError::invalid_params("missing 'account' (u64 string)"))?;
+            Ok(match chain.account(Address(account)) {
+                Some(state) => Value::object([
+                    ("checking", Value::from(state.checking)),
+                    ("savings", Value::from(state.savings)),
+                    ("version", Value::from(state.version)),
+                ]),
+                None => Value::Null,
+            })
+        });
+    }
+    {
+        let chain = Arc::clone(&chain);
+        server.register("ingress_nodes", move |_| {
+            Ok(Value::Array(
+                chain.ingress_nodes().into_iter().map(Value::from).collect(),
+            ))
+        });
+    }
+    {
+        let chain = Arc::clone(&chain);
+        server.register("sealer_nodes", move |_| {
+            Ok(Value::Array(
+                chain.sealer_nodes().into_iter().map(Value::from).collect(),
+            ))
+        });
+    }
+    {
+        let chain = Arc::clone(&chain);
+        server.register("verify_ledgers", move |_| {
+            Ok(match chain.verify_ledgers() {
+                Ok(()) => Value::object([("ok", Value::from(true))]),
+                Err(e) => Value::object([
+                    ("ok", Value::from(false)),
+                    ("error", encode_ledger_error(&e)),
+                ]),
+            })
+        });
+    }
+    {
+        let chain = Arc::clone(&chain);
+        server.register("progress_mark", move |_| {
+            Ok(Value::from(chain.progress_mark()))
+        });
+    }
+    {
+        let chain = Arc::clone(&chain);
+        // Named `shutdown_chain` (not `shutdown`) so a typo'd method list
+        // can never confuse stopping the chain with closing a connection.
+        server.register("shutdown_chain", move |_| {
+            chain.shutdown();
+            Ok(Value::Null)
+        });
+    }
+    server
+}
+
+/// Serves an [`RpcServer`]'s dispatch table over real TCP: the listener
+/// hands each length-prefixed frame to
+/// [`RpcServer::handle_bytes_into`] — the identical entry point the
+/// in-process transport uses, so both deploy modes execute the same
+/// dispatch and codec code on byte-identical JSON.
+pub fn serve_tcp(
+    server: RpcServer,
+    addr: &str,
+    config: hammer_net::TcpServerConfig,
+) -> std::io::Result<hammer_net::TcpRpcServer> {
+    let handler: hammer_net::RawHandler =
+        Arc::new(move |req: &[u8], out: &mut String| server.handle_bytes_into(req, out));
+    hammer_net::TcpRpcServer::bind(addr, handler, config)
 }
 
 /// A [`BlockchainClient`] backed by a JSON-RPC connection.

@@ -315,6 +315,30 @@ pub fn live_threads() -> usize {
         .unwrap_or(0)
 }
 
+/// Live direct child processes of this process (via procfs): scans
+/// `/proc/<pid>/stat` and counts entries whose parent pid is us. Zombies
+/// (exited but unreaped children) still count — the supervisor is
+/// expected to `wait()` on everything it spawns, so a zombie *is* a
+/// leak.
+pub fn live_children() -> usize {
+    let own = std::process::id();
+    let Ok(dir) = std::fs::read_dir("/proc") else {
+        return 0;
+    };
+    dir.filter_map(|entry| {
+        let entry = entry.ok()?;
+        // Numeric directory names are pids.
+        entry.file_name().to_str()?.parse::<u32>().ok()?;
+        let stat = std::fs::read_to_string(entry.path().join("stat")).ok()?;
+        // Field 2 (comm) may contain spaces/parens; the ppid is the 4th
+        // field overall, i.e. the 2nd after the *last* ')'.
+        let after_comm = &stat[stat.rfind(')')? + 1..];
+        let ppid: u32 = after_comm.split_whitespace().nth(1)?.parse().ok()?;
+        (ppid == own).then_some(())
+    })
+    .count()
+}
+
 /// One chaos drill: which backend to deploy, which seed drives both the
 /// fault schedule and the workload, and how hard to push.
 #[derive(Clone, Debug)]
@@ -357,6 +381,7 @@ impl ChaosCase {
 /// tear the deployment down (probing for leaked threads).
 pub fn run_chaos_case(case: &ChaosCase) -> ChaosVerdict {
     let threads_before = live_threads();
+    let children_before = live_children();
     let registry = BackendRegistry::builtin();
     let clock = SimClock::with_speedup(case.speedup);
     let net = SimNetwork::new(clock.clone(), LinkConfig::lan());
@@ -423,12 +448,13 @@ pub fn run_chaos_case(case: &ChaosCase) -> ChaosVerdict {
     }
 
     drop(deployment);
-    // The scheduler thread lives as long as any SimNetwork handle; drop
-    // ours or the probe counts it as a leak.
+    // Deployment teardown joins node threads synchronously, and joining
+    // the scheduler makes the teardown point *deterministic* — after
+    // this line every framework thread is gone, no settling wait needed.
+    net.shutdown_and_join();
     drop(net);
-    // Deployment teardown joins node threads synchronously; the grace
-    // loop covers the scheduler noticing its network is gone (≤50 ms
-    // poll) and unrelated process threads still unwinding.
+    // A short grace loop still covers unrelated process threads (e.g. a
+    // just-finished parallel test) unwinding underneath the probe.
     let probe_deadline = std::time::Instant::now() + Duration::from_secs(5);
     let mut threads_after = live_threads();
     while threads_after > threads_before && std::time::Instant::now() < probe_deadline {
@@ -444,6 +470,21 @@ pub fn run_chaos_case(case: &ChaosCase) -> ChaosVerdict {
         InvariantCheck::fail(
             "no_thread_leak",
             format!("before={threads_before} after={threads_after}"),
+        )
+    });
+    // Orphan probe: everything the case spawned (nothing, for in-process
+    // backends; node-host processes once supervisors are in play) must
+    // be dead *and reaped* by now.
+    let children_after = live_children();
+    checks.push(if children_after <= children_before {
+        InvariantCheck::pass(
+            "no_child_leak",
+            format!("before={children_before} after={children_after}"),
+        )
+    } else {
+        InvariantCheck::fail(
+            "no_child_leak",
+            format!("before={children_before} after={children_after}"),
         )
     });
 

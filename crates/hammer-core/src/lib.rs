@@ -70,7 +70,10 @@ pub use baseline::BatchQueue;
 pub use bloom::BloomFilter;
 pub use chaos::{ChaosCase, ChaosVerdict, InvariantCheck};
 pub use checkpoint::{DriverCheckpoint, RecoveryConfig};
-pub use deploy::{BackendOptions, BackendRegistry, ChainSpec, Deployment, UnknownBackend};
+pub use deploy::{
+    BackendOptions, BackendRegistry, ChainSpec, DeployError, DeployMode, Deployment,
+    ProcessFaultStats, Supervisor, SupervisorConfig, UnknownBackend,
+};
 pub use driver::{
     EvalConfig, EvalConfigBuilder, EvalReport, Evaluation, FaultWindowStats, TestingMode,
 };

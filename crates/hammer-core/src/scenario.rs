@@ -54,7 +54,10 @@ use hammer_workload::{
 
 use crate::chaos::{check_report, InvariantCheck};
 use crate::checkpoint::RecoveryConfig;
-use crate::deploy::{BackendOptions, BackendRegistry, Deployment};
+use crate::deploy::{
+    reconnect_policy_for, BackendOptions, BackendRegistry, DeployMode, Deployment,
+    ProcessFaultStats, SupervisorConfig,
+};
 use crate::driver::{EvalConfig, EvalError, EvalReport, Evaluation};
 use crate::retry::RetryPolicy;
 
@@ -372,6 +375,9 @@ pub enum ScenarioError {
     Expectation(String),
     /// The recovery spec is malformed.
     Recovery(String),
+    /// A multi-process deployment failed (spawn, handshake, health
+    /// check, or fault-plan forwarding).
+    Deploy(String),
     /// A JSON scenario spec failed to parse.
     Spec(String),
     /// The compiled driver configuration was rejected, or the run failed.
@@ -389,6 +395,7 @@ impl std::fmt::Display for ScenarioError {
             ScenarioError::Chaos(msg) => write!(f, "chaos spec: {msg}"),
             ScenarioError::Expectation(msg) => write!(f, "expectation: {msg}"),
             ScenarioError::Recovery(msg) => write!(f, "recovery spec: {msg}"),
+            ScenarioError::Deploy(msg) => write!(f, "deploy: {msg}"),
             ScenarioError::Spec(msg) => write!(f, "scenario spec: {msg}"),
             ScenarioError::Config(e) => write!(f, "driver config: {e}"),
         }
@@ -413,6 +420,7 @@ pub struct ScenarioBuilder {
     description: String,
     backend: String,
     speedup: f64,
+    deploy_mode: DeployMode,
     options: BackendOptions,
     workload: WorkloadConfig,
     control: Option<ControlSequence>,
@@ -433,6 +441,7 @@ impl ScenarioBuilder {
             description: String::new(),
             backend: "neuchain-sim".to_owned(),
             speedup: 100.0,
+            deploy_mode: DeployMode::default(),
             options: BackendOptions::default(),
             workload: WorkloadConfig {
                 accounts: 200,
@@ -467,6 +476,14 @@ impl ScenarioBuilder {
     /// Clock speedup (simulated seconds per wall second).
     pub fn speedup(mut self, speedup: f64) -> Self {
         self.speedup = speedup;
+        self
+    }
+
+    /// How the SUT is deployed: in-process on the simulated network
+    /// (default) or as a supervised `node-host` OS process behind real
+    /// TCP, where crash-fault windows SIGKILL the actual process.
+    pub fn deploy_mode(mut self, mode: DeployMode) -> Self {
+        self.deploy_mode = mode;
         self
     }
 
@@ -844,6 +861,11 @@ impl Scenario {
         self.spec.speedup
     }
 
+    /// The deploy mode.
+    pub fn deploy_mode(&self) -> DeployMode {
+        self.spec.deploy_mode
+    }
+
     /// The validated run window.
     pub fn control(&self) -> &ControlSequence {
         &self.control
@@ -899,21 +921,69 @@ impl Scenario {
         self.run_on(&BackendRegistry::builtin())
     }
 
-    /// Deploys the backend on a fresh simulated network, installs the
-    /// compiled fault plan, drives the unmodified driver (the
-    /// checkpointing variant when a recovery spec is set — including the
-    /// kill and the resume), and grades the expectations into a
-    /// [`Verdict`].
+    /// Deploys the backend ([`DeployMode::InProcess`] on a fresh
+    /// simulated network, [`DeployMode::MultiProcess`] as a supervised
+    /// `node-host` OS process behind real TCP), installs the compiled
+    /// fault plan, drives the unmodified driver (the checkpointing
+    /// variant when a recovery spec is set — including the kill and the
+    /// resume), and grades the expectations into a [`Verdict`].
+    ///
+    /// Teardown is deterministic: the deployment comes down and the
+    /// simulated network's scheduler thread is joined before this
+    /// returns, so callers can probe for leaked threads/processes
+    /// immediately.
     pub fn run_on(&self, registry: &BackendRegistry) -> Result<Verdict, ScenarioError> {
         let clock = SimClock::with_speedup(self.spec.speedup);
         let net = SimNetwork::new(clock.clone(), LinkConfig::lan());
         net.install_obs(Obs::new());
-        let deployment = registry
-            .deploy_on(&self.spec.backend, &self.spec.options, clock, net.clone())
-            .map_err(|e| ScenarioError::UnknownBackend {
-                name: e.name,
-                known: e.known,
-            })?;
+        let deployment = match self.spec.deploy_mode {
+            DeployMode::InProcess => registry
+                .deploy_on(&self.spec.backend, &self.spec.options, clock, net.clone())
+                .map_err(|e| ScenarioError::UnknownBackend {
+                    name: e.name,
+                    known: e.known,
+                })?,
+            DeployMode::MultiProcess => registry
+                .deploy_multi(
+                    &self.spec.backend,
+                    &self.spec.options,
+                    clock.clone(),
+                    net.clone(),
+                    SupervisorConfig::default(),
+                    reconnect_policy_for(&self.spec.retry, &clock),
+                )
+                .map_err(|e| match e {
+                    crate::deploy::DeployError::Unknown(u) => ScenarioError::UnknownBackend {
+                        name: u.name,
+                        known: u.known,
+                    },
+                    other => ScenarioError::Deploy(other.to_string()),
+                })?,
+        };
+        let run = self.run_deployed(&deployment, &net);
+        let process_faults = deployment.supervisor().map(|s| s.stats());
+        // Deterministic teardown, success or error: Drop shuts the SUT
+        // (and any node process) down, then the scheduler thread joins.
+        drop(deployment);
+        net.shutdown_and_join();
+        let (report, checks) = run?;
+        Ok(Verdict {
+            scenario: self.spec.name.clone(),
+            backend: self.spec.backend.clone(),
+            stalled: report.stalled,
+            process_faults,
+            checks,
+            report,
+        })
+    }
+
+    /// The deploy-to-grade middle of [`Scenario::run_on`], factored out
+    /// so teardown runs on every exit path.
+    fn run_deployed(
+        &self,
+        deployment: &Deployment,
+        net: &SimNetwork,
+    ) -> Result<(EvalReport, Vec<InvariantCheck>), ScenarioError> {
         let targets = ChaosTargets::new(
             deployment.chain().ingress_nodes(),
             deployment.chain().sealer_nodes(),
@@ -922,14 +992,15 @@ impl Scenario {
             Some(chaos) => {
                 let plan =
                     chaos.to_plan(&targets, &net.endpoint_names(), self.control.duration())?;
-                net.try_install_faults(plan.clone())
-                    .map_err(|e| ScenarioError::Chaos(e.to_string()))?;
+                deployment
+                    .install_faults(plan.clone())
+                    .map_err(ScenarioError::Chaos)?;
                 Some(plan)
             }
             None => None,
         };
 
-        let report = self.drive(&deployment)?;
+        let report = self.drive(deployment)?;
 
         let progress = deployment.chain().progress_mark();
         let obs = net.obs();
@@ -944,13 +1015,7 @@ impl Scenario {
                 &mut checks,
             );
         }
-        Ok(Verdict {
-            scenario: self.spec.name.clone(),
-            backend: self.spec.backend.clone(),
-            stalled: report.stalled,
-            checks,
-            report,
-        })
+        Ok((report, checks))
     }
 
     fn drive(&self, deployment: &Deployment) -> Result<EvalReport, ScenarioError> {
@@ -1102,6 +1167,14 @@ impl Scenario {
         builder = builder.backend(backend);
         if let Some(s) = value.get("speedup").and_then(Value::as_f64) {
             builder = builder.speedup(s);
+        }
+        if let Some(m) = value.get("deploy_mode").and_then(Value::as_str) {
+            let mode = DeployMode::parse(m).ok_or_else(|| {
+                ScenarioError::Spec(format!(
+                    "unknown deploy_mode {m:?} (want \"in_process\" or \"multi_process\")"
+                ))
+            })?;
+            builder = builder.deploy_mode(mode);
         }
         if let Some(w) = value.get("workload") {
             builder = builder.workload(parse_workload(w)?);
@@ -1475,6 +1548,9 @@ pub struct Verdict {
     pub backend: String,
     /// Whether the stall watchdog aborted the run.
     pub stalled: bool,
+    /// Node-process lifecycle stats (SIGKILLs delivered for crash
+    /// windows, supervisor restarts); `None` for in-process runs.
+    pub process_faults: Option<ProcessFaultStats>,
     /// One evidence row per graded expectation (the oracle-backed
     /// expectations contribute several).
     pub checks: Vec<InvariantCheck>,
@@ -1507,13 +1583,23 @@ impl Verdict {
                 ])
             })
             .collect();
-        let head = Value::object([
+        let mut fields = vec![
             ("scenario", Value::from(self.scenario.as_str())),
             ("backend", Value::from(self.backend.as_str())),
             ("passed", Value::from(self.passed())),
             ("stalled", Value::from(self.stalled)),
-            ("checks", Value::Array(checks)),
-        ]);
+        ];
+        if let Some(stats) = &self.process_faults {
+            fields.push((
+                "process_faults",
+                Value::object([
+                    ("kills", Value::from(stats.kills)),
+                    ("restarts", Value::from(stats.restarts)),
+                ]),
+            ));
+        }
+        fields.push(("checks", Value::Array(checks)));
+        let head = Value::object(fields);
         let head = head.to_json();
         // Splice the report in as a sibling field (it already serialises
         // itself).

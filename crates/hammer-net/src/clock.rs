@@ -23,6 +23,12 @@ struct ClockInner {
     epoch: Instant,
     /// How many simulated seconds elapse per wall-clock second.
     speedup: f64,
+    /// Simulated time already elapsed before this clock was created.
+    ///
+    /// Zero for ordinary clocks. A restarted node process passes the
+    /// driver's current simulated time here so its clock resumes where
+    /// the run is, instead of restarting from zero.
+    base: Duration,
 }
 
 impl Default for SimClock {
@@ -43,6 +49,22 @@ impl SimClock {
     ///
     /// Panics if `speedup` is not finite and positive.
     pub fn with_speedup(speedup: f64) -> Self {
+        Self::with_speedup_from(speedup, Duration::ZERO)
+    }
+
+    /// A clock running `speedup` times faster than wall time whose
+    /// simulated time starts at `base` instead of zero.
+    ///
+    /// This exists for process restart: when a supervisor respawns a
+    /// node-host mid-run it passes the run's current simulated time, so
+    /// the new process's block timestamps and fault-window checks stay
+    /// continuous with the driver's clock instead of rewinding to the
+    /// epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speedup` is not finite and positive.
+    pub fn with_speedup_from(speedup: f64, base: Duration) -> Self {
         assert!(
             speedup.is_finite() && speedup > 0.0,
             "speedup must be finite and positive, got {speedup}"
@@ -51,6 +73,7 @@ impl SimClock {
             inner: Arc::new(ClockInner {
                 epoch: Instant::now(),
                 speedup,
+                base,
             }),
         }
     }
@@ -60,10 +83,11 @@ impl SimClock {
         self.inner.speedup
     }
 
-    /// Simulated time elapsed since the clock was created.
+    /// Simulated time elapsed since the clock's epoch (plus any restart
+    /// base set by [`SimClock::with_speedup_from`]).
     pub fn now(&self) -> Duration {
         let wall = self.inner.epoch.elapsed();
-        wall.mul_f64(self.inner.speedup)
+        self.inner.base + wall.mul_f64(self.inner.speedup)
     }
 
     /// Simulated time as fractional seconds since the epoch.
@@ -175,6 +199,16 @@ mod tests {
         let tb = b.now();
         let diff = tb.abs_diff(ta);
         assert!(diff < Duration::from_millis(50));
+    }
+
+    #[test]
+    fn restart_base_offsets_now() {
+        let clock = SimClock::with_speedup_from(1000.0, Duration::from_secs(90));
+        let now = clock.now();
+        assert!(now >= Duration::from_secs(90), "now = {now:?}");
+        // The base participates in absolute waits too.
+        clock.sleep_until(Duration::from_secs(91)); // ~1ms wall
+        assert!(clock.now() >= Duration::from_secs(91));
     }
 
     #[test]

@@ -28,6 +28,8 @@
 
 use std::time::Duration;
 
+use hammer_rpc::json::Value;
+
 /// One fault shape. See the module docs for semantics.
 #[derive(Clone, Debug, PartialEq, Eq)]
 #[non_exhaustive]
@@ -416,6 +418,150 @@ impl FaultPlan {
             })
     }
 
+    /// Serialises the plan to a JSON [`Value`] so it can cross an RPC
+    /// boundary (a multi-process deployment forwards the driver's plan to
+    /// each node-host over the wire). Durations travel as microseconds of
+    /// simulated time.
+    pub fn to_value(&self) -> Value {
+        let windows: Vec<Value> = self
+            .windows
+            .iter()
+            .map(|w| {
+                let fault = match &w.fault {
+                    Fault::Crash { node } => Value::object([
+                        ("kind", Value::from("crash")),
+                        ("node", Value::from(node.as_str())),
+                    ]),
+                    Fault::Blackhole { node } => Value::object([
+                        ("kind", Value::from("blackhole")),
+                        ("node", Value::from(node.as_str())),
+                    ]),
+                    Fault::Partition { groups } => Value::object([
+                        ("kind", Value::from("partition")),
+                        (
+                            "groups",
+                            Value::Array(
+                                groups
+                                    .iter()
+                                    .map(|g| {
+                                        Value::Array(
+                                            g.iter().map(|m| Value::from(m.as_str())).collect(),
+                                        )
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                    ]),
+                    Fault::LatencySpike { extra, node } => Value::object([
+                        ("kind", Value::from("latency")),
+                        ("extra_us", Value::from(extra.as_micros() as u64)),
+                        (
+                            "node",
+                            node.as_deref().map(Value::from).unwrap_or(Value::Null),
+                        ),
+                    ]),
+                };
+                Value::object([
+                    ("label", Value::from(w.label.as_str())),
+                    ("start_us", Value::from(w.start.as_micros() as u64)),
+                    ("end_us", Value::from(w.end.as_micros() as u64)),
+                    ("fault", fault),
+                ])
+            })
+            .collect();
+        Value::object([("windows", Value::Array(windows))])
+    }
+
+    /// Parses a plan previously produced by [`FaultPlan::to_value`].
+    ///
+    /// Returns a human-readable description of the first malformed field;
+    /// shape validation ([`FaultPlan::validate`]) is still the caller's
+    /// job, exactly as for a locally built plan.
+    pub fn from_value(value: &Value) -> Result<FaultPlan, String> {
+        let windows = value
+            .get("windows")
+            .and_then(Value::as_array)
+            .ok_or("fault plan: missing 'windows' array")?;
+        let mut plan = FaultPlan::new();
+        for (i, w) in windows.iter().enumerate() {
+            let field = |name: &str| {
+                w.get(name)
+                    .ok_or_else(|| format!("fault window {i}: missing '{name}'"))
+            };
+            let us = |name: &str| -> Result<Duration, String> {
+                field(name)?
+                    .as_u64()
+                    .map(Duration::from_micros)
+                    .ok_or_else(|| format!("fault window {i}: '{name}' is not an integer"))
+            };
+            let label = field("label")?
+                .as_str()
+                .ok_or_else(|| format!("fault window {i}: 'label' is not a string"))?
+                .to_owned();
+            let fault_v = field("fault")?;
+            let str_field = |name: &str| -> Result<String, String> {
+                fault_v
+                    .get(name)
+                    .and_then(Value::as_str)
+                    .map(str::to_owned)
+                    .ok_or_else(|| format!("fault window {i}: fault '{name}' is not a string"))
+            };
+            let kind = str_field("kind")?;
+            let fault = match kind.as_str() {
+                "crash" => Fault::Crash {
+                    node: str_field("node")?,
+                },
+                "blackhole" => Fault::Blackhole {
+                    node: str_field("node")?,
+                },
+                "partition" => {
+                    let groups_v = fault_v
+                        .get("groups")
+                        .and_then(Value::as_array)
+                        .ok_or_else(|| format!("fault window {i}: missing 'groups' array"))?;
+                    let mut groups = Vec::with_capacity(groups_v.len());
+                    for g in groups_v {
+                        let members = g
+                            .as_array()
+                            .ok_or_else(|| format!("fault window {i}: group is not an array"))?
+                            .iter()
+                            .map(|m| {
+                                m.as_str().map(str::to_owned).ok_or_else(|| {
+                                    format!("fault window {i}: group member is not a string")
+                                })
+                            })
+                            .collect::<Result<Vec<String>, String>>()?;
+                        groups.push(members);
+                    }
+                    Fault::Partition { groups }
+                }
+                "latency" => {
+                    let extra = fault_v
+                        .get("extra_us")
+                        .and_then(Value::as_u64)
+                        .map(Duration::from_micros)
+                        .ok_or_else(|| format!("fault window {i}: 'extra_us' is not an integer"))?;
+                    let node =
+                        match fault_v.get("node") {
+                            None | Some(Value::Null) => None,
+                            Some(v) => Some(v.as_str().map(str::to_owned).ok_or_else(|| {
+                                format!("fault window {i}: 'node' is not a string")
+                            })?),
+                        };
+                    Fault::LatencySpike { extra, node }
+                }
+                other => return Err(format!("fault window {i}: unknown fault kind '{other}'")),
+            };
+            plan = plan.with_window(FaultWindow {
+                label,
+                start: us("start_us")?,
+                end: us("end_us")?,
+                fault,
+            });
+        }
+        Ok(plan)
+    }
+
     /// Total extra delay the plan imposes on `from -> to` at `now`.
     /// Overlapping spikes stack.
     pub fn extra_latency(&self, from: &str, to: &str, now: Duration) -> Duration {
@@ -584,6 +730,44 @@ mod tests {
             bad_group.validate_against(&topology),
             Err(FaultPlanError::UnknownNode { node, .. }) if node == "ghost"
         ));
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_every_fault_shape() {
+        let plan = FaultPlan::new()
+            .crash("a", secs(1), secs(2))
+            .blackhole("b", secs(2), secs(3))
+            .partition(&[&["a", "b"], &["c"]], secs(3), secs(4))
+            .latency_spike(Duration::from_millis(250), secs(4), secs(5))
+            .latency_spike_on("c", Duration::from_micros(1500), secs(5), secs(6));
+        let value = plan.to_value();
+        // Cross a real serialise/parse boundary, as the RPC path would.
+        let text = value.to_json();
+        let parsed = hammer_rpc::json::Value::parse(&text).unwrap();
+        let back = FaultPlan::from_value(&parsed).unwrap();
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn from_value_rejects_malformed_plans() {
+        use hammer_rpc::json::Value;
+        assert!(FaultPlan::from_value(&Value::Null)
+            .unwrap_err()
+            .contains("windows"));
+        let bad_kind = Value::parse(
+            r#"{"windows":[{"label":"x","start_us":0,"end_us":1,
+                "fault":{"kind":"meteor","node":"n"}}]}"#,
+        )
+        .unwrap();
+        assert!(FaultPlan::from_value(&bad_kind)
+            .unwrap_err()
+            .contains("meteor"));
+        let missing_node = Value::parse(
+            r#"{"windows":[{"label":"x","start_us":0,"end_us":1,
+                "fault":{"kind":"crash"}}]}"#,
+        )
+        .unwrap();
+        assert!(FaultPlan::from_value(&missing_node).is_err());
     }
 
     #[test]

@@ -18,6 +18,10 @@
 //! * [`chaos::ChaosSchedule`] — a seeded generator of valid randomized
 //!   fault plans over discovered fault targets, plus a shrinker that
 //!   reduces a failing schedule to its smallest failing prefix.
+//! * [`tcp`] — the one *real* transport: length-prefixed JSON-RPC over
+//!   TCP ([`tcp::TcpRpcServer`] / [`tcp::TcpRpcClient`]), used by the
+//!   multi-process deploy mode where each chain node runs as its own OS
+//!   process and faults kill real sockets.
 //!
 //! The network also carries the run's observability bundle
 //! ([`SimNetwork::install_obs`]): per-link byte and drop counters are
@@ -51,9 +55,14 @@ pub mod clock;
 pub mod fault;
 pub mod link;
 pub mod network;
+pub mod tcp;
 
 pub use chaos::{ChaosConfig, ChaosSchedule, ChaosTargets};
 pub use clock::SimClock;
 pub use fault::{Fault, FaultPlan, FaultPlanError, FaultWindow, NodeFault};
 pub use link::LinkConfig;
 pub use network::{Endpoint, FaultObserver, Message, NetError, SimNetwork, DEFAULT_NET_SEED};
+pub use tcp::{
+    RawHandler, ReconnectPolicy, TcpClientConfig, TcpError, TcpRpcClient, TcpRpcServer,
+    TcpServerConfig,
+};

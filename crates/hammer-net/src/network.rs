@@ -138,6 +138,9 @@ struct Shared {
     faults: Mutex<Option<Arc<FaultPlan>>>,
     sched: Mutex<SchedulerState>,
     sched_cv: Condvar,
+    /// The scheduler thread's handle, taken by
+    /// [`SimNetwork::shutdown_and_join`] for deterministic teardown.
+    sched_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
     rng: Mutex<StdRng>,
     seq: Mutex<u64>,
     stats: Mutex<NetStats>,
@@ -228,6 +231,7 @@ impl SimNetwork {
             faults: Mutex::new(None),
             sched: Mutex::new(SchedulerState::default()),
             sched_cv: Condvar::new(),
+            sched_thread: Mutex::new(None),
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
             seq: Mutex::new(0),
             stats: Mutex::new(NetStats::default()),
@@ -235,10 +239,11 @@ impl SimNetwork {
             obs: Mutex::new(ObsState::new(Obs::disabled())),
         });
         let weak = Arc::downgrade(&shared);
-        std::thread::Builder::new()
+        let handle = std::thread::Builder::new()
             .name("sim-net-scheduler".to_owned())
             .spawn(move || scheduler_loop(weak))
             .expect("failed to spawn network scheduler");
+        *shared.sched_thread.lock() = Some(handle);
         SimNetwork { shared }
     }
 
@@ -524,6 +529,34 @@ impl SimNetwork {
         names.sort();
         names
     }
+
+    /// Stops the delivery scheduler and joins its thread.
+    ///
+    /// Without this, teardown is only *eventually* quiet: the scheduler
+    /// thread holds a `Weak` to the shared state and exits within one
+    /// 50 ms poll tick of the last [`SimNetwork`] clone dropping, which
+    /// makes thread-leak probes taken right after teardown racy. Calling
+    /// `shutdown_and_join` first makes the quiesce deterministic: when it
+    /// returns, the scheduler thread is gone and any in-flight deliveries
+    /// are discarded. Later [`SimNetwork::send`]s fail with
+    /// [`NetError::Shutdown`].
+    ///
+    /// Idempotent, and safe to call from any thread (including — as a
+    /// no-join no-op — the scheduler itself, which cannot happen in
+    /// practice but costs nothing to guard).
+    pub fn shutdown_and_join(&self) {
+        {
+            let mut sched = self.shared.sched.lock();
+            sched.shutdown = true;
+        }
+        self.shared.sched_cv.notify_all();
+        let handle = self.shared.sched_thread.lock().take();
+        if let Some(handle) = handle {
+            if handle.thread().id() != std::thread::current().id() {
+                let _ = handle.join();
+            }
+        }
+    }
 }
 
 /// Tracks fault-window state transitions against the installed
@@ -592,6 +625,9 @@ fn scheduler_loop(weak: std::sync::Weak<Shared>) {
         };
         // Hold the arc only briefly per iteration so drop can proceed.
         let mut sched = shared.sched.lock();
+        if sched.shutdown {
+            return; // deterministic teardown via shutdown_and_join
+        }
         let now = Instant::now();
         // Deliver everything due.
         let mut due = Vec::new();
@@ -957,6 +993,20 @@ mod tests {
                 .value(),
             0
         );
+    }
+
+    #[test]
+    fn shutdown_and_join_is_deterministic_and_idempotent() {
+        let net = fast_net();
+        let _a = net.register("a");
+        let _b = net.register("b");
+        net.send("a", "b", b"in flight".to_vec()).unwrap();
+        // When this returns the scheduler thread has been joined — gone
+        // *now*, not within a poll tick — and sends fail loudly.
+        net.shutdown_and_join();
+        assert_eq!(net.send("a", "b", vec![0]), Err(NetError::Shutdown));
+        // Idempotent.
+        net.shutdown_and_join();
     }
 
     #[test]

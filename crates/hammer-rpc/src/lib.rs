@@ -15,6 +15,9 @@
 //!   dispatches method calls to registered handlers, and an
 //!   [`transport::RpcClient`] issues calls from any thread. It stands in
 //!   for the TCP transport of a real deployment.
+//! * [`frame`] — length-prefixed wire framing for byte-stream transports.
+//!   `hammer-net`'s TCP layer composes this codec with real sockets to run
+//!   the same JSON-RPC exchange across process boundaries.
 //!
 //! # Example
 //!
@@ -32,10 +35,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod frame;
 pub mod json;
 pub mod jsonrpc;
 pub mod transport;
 
+pub use frame::{FrameDecoder, FrameError, MAX_FRAME_LEN};
 pub use json::{JsonError, Value};
 pub use jsonrpc::{RpcError, RpcErrorCode, RpcRequest, RpcResponse};
 pub use transport::{RpcClient, RpcServer};

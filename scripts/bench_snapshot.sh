@@ -1,23 +1,28 @@
 #!/usr/bin/env sh
-# Runs the `roundtrip` and `obs_overhead` Criterion groups and the
-# `driver_ceiling` sweep, snapshotting machine-readable results (one JSON
-# object per line, appended by the harness via CRITERION_JSON) to
-# BENCH_roundtrip.json, BENCH_obs_overhead.json, and
-# BENCH_driver_ceiling.json. Exits non-zero if
+# Runs the `roundtrip`, `obs_overhead`, and `rpc_loopback` Criterion
+# groups and the `driver_ceiling` sweep, snapshotting machine-readable
+# results (one JSON object per line, appended by the harness via
+# CRITERION_JSON) to BENCH_roundtrip.json, BENCH_obs_overhead.json,
+# BENCH_rpc_loopback.json, and BENCH_driver_ceiling.json. Exits non-zero
+# if
 #   * the windowed fixed-base modexp does not hold its >=3x speedup over
 #     generic square-and-multiply, or
 #   * signing through a *disabled* observability context costs more than
 #     5% over the plain path (the near-zero-when-off guarantee), or
+#   * a loopback-TCP RPC call costs more than 50x the in-process
+#     dispatch (the distributed mode's transport stays in the same
+#     order of magnitude as the work it wraps), or
 #   * the driver_ceiling sweep fails its accounting identity or cannot
 #     sustain the million-record in-flight depth.
 #
-# Usage: scripts/bench_snapshot.sh [roundtrip.json] [obs_overhead.json] [driver_ceiling.json]
+# Usage: scripts/bench_snapshot.sh [roundtrip.json] [obs_overhead.json] [driver_ceiling.json] [rpc_loopback.json]
 set -eu
 
 cd "$(dirname "$0")/.."
 OUT="${1:-BENCH_roundtrip.json}"
 OBS_OUT="${2:-BENCH_obs_overhead.json}"
 CEILING_OUT="${3:-BENCH_driver_ceiling.json}"
+RPC_OUT="${4:-BENCH_rpc_loopback.json}"
 abspath() {
     case "$1" in
         /*) printf '%s\n' "$1" ;;
@@ -66,6 +71,27 @@ awk -v p="$plain" -v d="$disabled" 'BEGIN {
     }
 }'
 echo "snapshot written to $OBS_OUT"
+
+RPC_OUT_ABS="$(abspath "$RPC_OUT")"
+: > "$RPC_OUT_ABS"
+CRITERION_JSON="$RPC_OUT_ABS" cargo bench --offline -p bench --bench rpc_loopback
+
+inproc=$(awk -F'"mean_ns":' '/"rpc_loopback\/inproc_call"/ { split($2, a, ","); print a[1] }' "$RPC_OUT_ABS")
+tcp=$(awk -F'"mean_ns":' '/"rpc_loopback\/tcp_loopback_call"/ { split($2, a, ","); print a[1] }' "$RPC_OUT_ABS")
+if [ -z "$inproc" ] || [ -z "$tcp" ]; then
+    echo "bench_snapshot: rpc_loopback results missing from $RPC_OUT" >&2
+    exit 1
+fi
+
+awk -v i="$inproc" -v t="$tcp" 'BEGIN {
+    r = t / i
+    printf "loopback-TCP RPC overhead: %.2fx (in-process %.0f ns/call -> TCP %.0f ns/call)\n", r, i, t
+    if (r > 50.0) {
+        print "bench_snapshot: loopback transport overhead above the 50x ceiling" > "/dev/stderr"
+        exit 1
+    }
+}'
+echo "snapshot written to $RPC_OUT"
 
 CEILING_OUT_ABS="$(abspath "$CEILING_OUT")"
 # Full sweep: 1M sustained in-flight records, single-lock (shards=1)

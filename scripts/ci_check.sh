@@ -119,6 +119,20 @@ if ! echo "$scenario_out" | grep -q ', 0 expectation violations'; then
     exit 1
 fi
 
+echo "==> multi-process smoke: crash window SIGKILLs a real node-host"
+# One backend behind loopback TCP: the supervisor spawns node-host as
+# its own OS process, the crash-fault window kills it with SIGKILL, the
+# supervisor restarts it, and the run must complete with the accounting
+# identity intact. The binary exits non-zero if the kill or the restart
+# never happened; the grep pins the identity line.
+cargo build --release --offline --bin node-host
+smoke_out=$(cargo run --release --offline -p bench --bin scenario_sweep -- --crash-smoke)
+echo "$smoke_out" | tail -n 2
+if ! echo "$smoke_out" | grep -q 'accounting identity holds'; then
+    echo "ci_check: multi-process crash smoke lost the accounting identity" >&2
+    exit 1
+fi
+
 echo "==> grep gate: EvalConfig is built, never constructed"
 # The validating builder is the only way to make an EvalConfig; a
 # struct literal would bypass every invariant it enforces. Only the

@@ -16,6 +16,11 @@
 //! 4. A bounded ingress under stalled sealing overflows to
 //!    [`ErrorKind::Backpressure`], not a panic or silent drop.
 //! 5. Dropping a deployment joins every node thread — no leaks.
+//!
+//! Contracts 1–4 are checked under **both deploy modes**: the backend
+//! in-process on the simulated network, and the same backend as a
+//! supervised `node-host` OS process behind loopback TCP. The generic
+//! interface promises identical behaviour either way.
 
 use std::collections::HashSet;
 use std::time::Duration;
@@ -23,7 +28,9 @@ use std::time::Duration;
 use hammer::chain::client::ErrorKind;
 use hammer::chain::smallbank::Op;
 use hammer::chain::types::{Address, SignedTransaction, Transaction};
-use hammer::core::deploy::{BackendOptions, BackendRegistry};
+use hammer::core::deploy::{
+    reconnect_policy_for, BackendOptions, BackendRegistry, DeployMode, Deployment, SupervisorConfig,
+};
 use hammer::core::driver::EvalConfig;
 use hammer::core::driver::Evaluation;
 use hammer::core::machine::ClientMachine;
@@ -34,6 +41,40 @@ use hammer::net::{FaultPlan, LinkConfig, SimClock, SimNetwork};
 use hammer::workload::{ControlSequence, WorkloadConfig};
 
 mod common;
+
+const BOTH_MODES: [DeployMode; 2] = [DeployMode::InProcess, DeployMode::MultiProcess];
+
+/// Deploys `name` under `mode` on a fresh clock/net pair. Multi-process
+/// deployments point the supervisor at the test build's own `node-host`
+/// artifact and derive the TCP reconnect policy from the standard retry
+/// policy, exactly as the scenario runner does.
+fn deploy_in_mode(
+    registry: &BackendRegistry,
+    name: &str,
+    opts: &BackendOptions,
+    speedup: f64,
+    mode: DeployMode,
+) -> (Deployment, SimNetwork) {
+    let clock = SimClock::with_speedup(speedup);
+    let net = SimNetwork::new(clock.clone(), LinkConfig::cloud_100mbps());
+    let deployment = match mode {
+        DeployMode::InProcess => registry.deploy_on(name, opts, clock, net.clone()).unwrap(),
+        DeployMode::MultiProcess => registry
+            .deploy_multi(
+                name,
+                opts,
+                clock.clone(),
+                net.clone(),
+                SupervisorConfig {
+                    node_host: Some(env!("CARGO_BIN_EXE_node-host").into()),
+                    ..SupervisorConfig::default()
+                },
+                reconnect_policy_for(&RetryPolicy::standard(), &clock),
+            )
+            .unwrap_or_else(|e| panic!("{name} ({}): {e}", mode.name())),
+    };
+    (deployment, net)
+}
 
 /// A correctly signed deposit to a per-nonce account. Distinct accounts
 /// keep Fabric's MVCC validation conflict-free (every event must report
@@ -61,53 +102,62 @@ fn conformance_account(nonce: u64) -> Address {
 fn every_backend_seals_submissions_into_matching_commit_events() {
     let _guard = common::serial_guard();
     let registry = BackendRegistry::builtin();
-    for name in registry.names() {
-        let deployment = registry
-            .deploy(name, &BackendOptions::default(), 1000.0)
-            .unwrap();
-        const TOTAL: u64 = 40;
-        for nonce in 0..TOTAL {
-            deployment.seed_account(conformance_account(nonce), 1_000, 1_000);
+    for mode in BOTH_MODES {
+        for name in registry.names() {
+            let (deployment, net) =
+                deploy_in_mode(&registry, name, &BackendOptions::default(), 1000.0, mode);
+            const TOTAL: u64 = 40;
+            for nonce in 0..TOTAL {
+                deployment.seed_account(conformance_account(nonce), 1_000, 1_000);
+            }
+            let events = deployment.client().subscribe_commits();
+            let mut ids = HashSet::new();
+            for nonce in 0..TOTAL {
+                ids.insert(
+                    deployment
+                        .client()
+                        .submit(deposit(name, nonce))
+                        .unwrap_or_else(|e| {
+                            panic!("{name} ({}): submission refused: {e}", mode.name())
+                        }),
+                );
+            }
+            let mut seen = HashSet::new();
+            while seen.len() < ids.len() {
+                let event = events
+                    .recv_timeout(Duration::from_secs(30))
+                    .unwrap_or_else(|_| {
+                        panic!(
+                            "{name} ({}): commit events dried up at {}/{}",
+                            mode.name(),
+                            seen.len(),
+                            ids.len()
+                        )
+                    });
+                assert!(
+                    ids.contains(&event.tx_id),
+                    "{name} ({}): commit event for a transaction never submitted",
+                    mode.name()
+                );
+                assert!(
+                    seen.insert(event.tx_id),
+                    "{name} ({}): transaction committed twice",
+                    mode.name()
+                );
+                assert!(
+                    event.success,
+                    "{name} ({}): conflict-free deposit reported as failed",
+                    mode.name()
+                );
+            }
+            deployment
+                .chain()
+                .verify_ledgers()
+                .unwrap_or_else(|e| panic!("{name} ({}): ledger audit failed: {e}", mode.name()));
+            deployment.down();
+            drop(deployment);
+            net.shutdown_and_join();
         }
-        let events = deployment.client().subscribe_commits();
-        let mut ids = HashSet::new();
-        for nonce in 0..TOTAL {
-            ids.insert(
-                deployment
-                    .client()
-                    .submit(deposit(name, nonce))
-                    .unwrap_or_else(|e| panic!("{name}: submission refused: {e}")),
-            );
-        }
-        let mut seen = HashSet::new();
-        while seen.len() < ids.len() {
-            let event = events
-                .recv_timeout(Duration::from_secs(30))
-                .unwrap_or_else(|_| {
-                    panic!(
-                        "{name}: commit events dried up at {}/{}",
-                        seen.len(),
-                        ids.len()
-                    )
-                });
-            assert!(
-                ids.contains(&event.tx_id),
-                "{name}: commit event for a transaction never submitted"
-            );
-            assert!(
-                seen.insert(event.tx_id),
-                "{name}: transaction committed twice"
-            );
-            assert!(
-                event.success,
-                "{name}: conflict-free deposit reported as failed"
-            );
-        }
-        deployment
-            .chain()
-            .verify_ledgers()
-            .unwrap_or_else(|e| panic!("{name}: ledger audit failed: {e}"));
-        deployment.down();
     }
 }
 
@@ -115,44 +165,62 @@ fn every_backend_seals_submissions_into_matching_commit_events() {
 fn accounting_identity_holds_for_every_backend() {
     let _guard = common::serial_guard();
     let registry = BackendRegistry::builtin();
-    for name in registry.names() {
-        let deployment = registry
-            .deploy(name, &BackendOptions::default(), 400.0)
-            .unwrap();
-        let workload = WorkloadConfig {
-            accounts: 1_000,
-            chain_name: name.to_owned(),
-            ..WorkloadConfig::default()
+    for mode in BOTH_MODES {
+        // Real TCP round-trips per submission: give the multi-process
+        // pass a gentler clock so the run window is not vanishingly
+        // short in wall time.
+        let speedup = match mode {
+            DeployMode::InProcess => 400.0,
+            DeployMode::MultiProcess => 100.0,
         };
-        let control = ControlSequence::constant(60, 4, Duration::from_secs(1));
-        let config = EvalConfig::builder()
-            .machine(ClientMachine::unconstrained())
-            .retry(RetryPolicy::standard())
-            .drain_timeout(Duration::from_secs(120))
-            .build()
-            .expect("valid config");
-        let report = Evaluation::new(config)
-            .run(&deployment, &workload, &control)
-            .unwrap_or_else(|e| panic!("{name}: evaluation failed: {e}"));
-        let terminal =
-            (report.committed + report.failed + report.timed_out + report.dropped + report.expired)
-                as u64
+        for name in registry.names() {
+            let (deployment, net) =
+                deploy_in_mode(&registry, name, &BackendOptions::default(), speedup, mode);
+            let workload = WorkloadConfig {
+                accounts: 1_000,
+                chain_name: name.to_owned(),
+                ..WorkloadConfig::default()
+            };
+            let control = ControlSequence::constant(60, 4, Duration::from_secs(1));
+            let config = EvalConfig::builder()
+                .machine(ClientMachine::unconstrained())
+                .retry(RetryPolicy::standard())
+                .drain_timeout(Duration::from_secs(120))
+                .build()
+                .expect("valid config");
+            let report = Evaluation::new(config)
+                .run(&deployment, &workload, &control)
+                .unwrap_or_else(|e| panic!("{name} ({}): evaluation failed: {e}", mode.name()));
+            let terminal = (report.committed
+                + report.failed
+                + report.timed_out
+                + report.dropped
+                + report.expired) as u64
                 + report.rejected;
-        assert_eq!(
-            terminal,
-            report.submitted,
-            "{name}: every submission must land in exactly one terminal bucket \
-             (committed {} + failed {} + timed_out {} + dropped {} + expired {} \
-             + rejected {} != submitted {})",
-            report.committed,
-            report.failed,
-            report.timed_out,
-            report.dropped,
-            report.expired,
-            report.rejected,
-            report.submitted
-        );
-        assert!(report.committed > 0, "{name}: nothing committed");
+            assert_eq!(
+                terminal,
+                report.submitted,
+                "{name} ({}): every submission must land in exactly one terminal bucket \
+                 (committed {} + failed {} + timed_out {} + dropped {} + expired {} \
+                 + rejected {} != submitted {})",
+                mode.name(),
+                report.committed,
+                report.failed,
+                report.timed_out,
+                report.dropped,
+                report.expired,
+                report.rejected,
+                report.submitted
+            );
+            assert!(
+                report.committed > 0,
+                "{name} ({}): nothing committed",
+                mode.name()
+            );
+            deployment.down();
+            drop(deployment);
+            net.shutdown_and_join();
+        }
     }
 }
 
@@ -160,29 +228,33 @@ fn accounting_identity_holds_for_every_backend() {
 fn blackholed_ingress_rejects_with_a_transient_error() {
     let _guard = common::serial_guard();
     let registry = BackendRegistry::builtin();
-    for name in registry.names() {
-        let clock = SimClock::with_speedup(1000.0);
-        let net = SimNetwork::new(clock.clone(), LinkConfig::cloud_100mbps());
-        let deployment = registry
-            .deploy_on(name, &BackendOptions::default(), clock, net.clone())
-            .unwrap();
-        // Blackhole every ingress endpoint the chain reports (sharded
-        // chains report one per shard) for the whole run.
-        let mut plan = FaultPlan::new();
-        for node in deployment.chain().ingress_nodes() {
-            plan = plan.blackhole(&node, Duration::ZERO, Duration::from_secs(3_600));
+    for mode in BOTH_MODES {
+        for name in registry.names() {
+            let (deployment, net) =
+                deploy_in_mode(&registry, name, &BackendOptions::default(), 1000.0, mode);
+            // Blackhole every ingress endpoint the chain reports (sharded
+            // chains report one per shard) for the whole run. In multi
+            // mode the plan is forwarded over the wire and acts on the
+            // node process's own network.
+            let mut plan = FaultPlan::new();
+            for node in deployment.chain().ingress_nodes() {
+                plan = plan.blackhole(&node, Duration::ZERO, Duration::from_secs(3_600));
+            }
+            deployment.install_faults(plan).expect("plan installs");
+            let err = deployment
+                .client()
+                .submit(deposit(name, 0))
+                .expect_err("submission through a blackholed ingress must fail");
+            assert_eq!(
+                err.kind(),
+                ErrorKind::Transient,
+                "{name} ({}): blackhole must surface as retryable, got {err}",
+                mode.name()
+            );
+            deployment.down();
+            drop(deployment);
+            net.shutdown_and_join();
         }
-        net.install_faults(plan);
-        let err = deployment
-            .client()
-            .submit(deposit(name, 0))
-            .expect_err("submission through a blackholed ingress must fail");
-        assert_eq!(
-            err.kind(),
-            ErrorKind::Transient,
-            "{name}: blackhole must surface as retryable, got {err}"
-        );
-        deployment.down();
     }
 }
 
@@ -192,23 +264,34 @@ fn bounded_ingress_overflows_to_backpressure() {
     let registry = BackendRegistry::builtin();
     // Tiny pool, sealing stalled for an hour: the pool cannot drain, so a
     // burst of submissions must hit the bound within a few multiples of
-    // the capacity (Fabric's endorsers may swallow one burst first).
+    // the capacity (Fabric's endorsers may swallow one burst first). The
+    // multi-process pass proves the options survive the trip through the
+    // node-host command line.
     let opts = BackendOptions {
         mempool_capacity: Some(4),
         stall_sealing: true,
     };
-    for name in registry.names() {
-        let deployment = registry.deploy(name, &opts, 1000.0).unwrap();
-        let overflow =
-            (0..64u64).find_map(|nonce| deployment.client().submit(deposit(name, nonce)).err());
-        let err = overflow
-            .unwrap_or_else(|| panic!("{name}: 64 submissions never overflowed a pool of 4"));
-        assert_eq!(
-            err.kind(),
-            ErrorKind::Backpressure,
-            "{name}: overflow must be backpressure, got {err}"
-        );
-        deployment.down();
+    for mode in BOTH_MODES {
+        for name in registry.names() {
+            let (deployment, net) = deploy_in_mode(&registry, name, &opts, 1000.0, mode);
+            let overflow =
+                (0..64u64).find_map(|nonce| deployment.client().submit(deposit(name, nonce)).err());
+            let err = overflow.unwrap_or_else(|| {
+                panic!(
+                    "{name} ({}): 64 submissions never overflowed a pool of 4",
+                    mode.name()
+                )
+            });
+            assert_eq!(
+                err.kind(),
+                ErrorKind::Backpressure,
+                "{name} ({}): overflow must be backpressure, got {err}",
+                mode.name()
+            );
+            deployment.down();
+            drop(deployment);
+            net.shutdown_and_join();
+        }
     }
 }
 
